@@ -1,0 +1,112 @@
+// Package main's bench file wires every experiment of DESIGN.md's
+// per-experiment index (E01–E20, one per table/figure of the tutorial)
+// into `go test -bench=.`. Each benchmark regenerates its artifact and
+// reports key measured quantities as benchmark metrics so runs are
+// comparable over time. The tables themselves (paper vs measured) are
+// printed by `go run ./cmd/mpcbench`.
+package main
+
+import (
+	"strconv"
+	"testing"
+
+	"mpcquery/internal/experiments"
+)
+
+// runExperiment executes the experiment once per benchmark iteration
+// and reports its row count (a proxy for completed sweep points).
+func runExperiment(b *testing.B, id string) {
+	e := experiments.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t := e.Run()
+		rows = len(t.Rows)
+		if rows == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkE01CostRegimes(b *testing.B)        { runExperiment(b, "E01") }
+func BenchmarkE02LoadConcentration(b *testing.B)  { runExperiment(b, "E02") }
+func BenchmarkE03SkewThreshold(b *testing.B)      { runExperiment(b, "E03") }
+func BenchmarkE04Cartesian(b *testing.B)          { runExperiment(b, "E04") }
+func BenchmarkE05SkewJoin(b *testing.B)           { runExperiment(b, "E05") }
+func BenchmarkE06SortJoin(b *testing.B)           { runExperiment(b, "E06") }
+func BenchmarkE07TriangleHC(b *testing.B)         { runExperiment(b, "E07") }
+func BenchmarkE08UnequalShares(b *testing.B)      { runExperiment(b, "E08") }
+func BenchmarkE09Speedup(b *testing.B)            { runExperiment(b, "E09") }
+func BenchmarkE10SkewHC(b *testing.B)             { runExperiment(b, "E10") }
+func BenchmarkE11OneVsMulti(b *testing.B)         { runExperiment(b, "E11") }
+func BenchmarkE12ScalabilityLimit(b *testing.B)   { runExperiment(b, "E12") }
+func BenchmarkE13IntermediateBlowup(b *testing.B) { runExperiment(b, "E13") }
+func BenchmarkE14GYM(b *testing.B)                { runExperiment(b, "E14") }
+func BenchmarkE15Crossover(b *testing.B)          { runExperiment(b, "E15") }
+func BenchmarkE16WidthDepth(b *testing.B)         { runExperiment(b, "E16") }
+func BenchmarkE17PSRS(b *testing.B)               { runExperiment(b, "E17") }
+func BenchmarkE18SortBounds(b *testing.B)         { runExperiment(b, "E18") }
+func BenchmarkE19MatMul(b *testing.B)             { runExperiment(b, "E19") }
+func BenchmarkE20CommLoadTradeoff(b *testing.B)   { runExperiment(b, "E20") }
+
+// A-series: the ablations DESIGN.md calls out.
+func BenchmarkA01ShareRounding(b *testing.B) { runExperiment(b, "A01") }
+func BenchmarkA02LocalJoin(b *testing.B)     { runExperiment(b, "A02") }
+func BenchmarkA03Splitters(b *testing.B)     { runExperiment(b, "A03") }
+func BenchmarkA04MatMulGroups(b *testing.B)  { runExperiment(b, "A04") }
+func BenchmarkA05Combiner(b *testing.B)      { runExperiment(b, "A05") }
+func BenchmarkA06HLSemijoins(b *testing.B)   { runExperiment(b, "A06") }
+
+// TestAllExperimentsProduceTables is the smoke test guaranteeing that
+// every experiment in the index runs to completion and yields a
+// non-empty table with a consistent schema.
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are not short")
+	}
+	for _, e := range experiments.All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tbl := e.Run()
+			if tbl.ID != e.ID {
+				t.Fatalf("table ID %q != experiment ID %q", tbl.ID, e.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Fatalf("row %d has %d cells, header %d", i, len(row), len(tbl.Header))
+				}
+			}
+			if tbl.Render() == "" || tbl.Markdown() == "" {
+				t.Fatal("empty rendering")
+			}
+		})
+	}
+	// Index completeness: E01..E20 all present.
+	for i := 1; i <= 20; i++ {
+		id := "E" + pad2(i)
+		if experiments.ByID(id) == nil {
+			t.Errorf("experiment %s missing from index", id)
+		}
+	}
+}
+
+func pad2(i int) string {
+	s := strconv.Itoa(i)
+	if len(s) == 1 {
+		return "0" + s
+	}
+	return s
+}
+
+func BenchmarkE21SparseMatMul(b *testing.B) { runExperiment(b, "E21") }
+func BenchmarkE22BigJoin(b *testing.B)      { runExperiment(b, "E22") }
+func BenchmarkE23ShareSweep(b *testing.B)   { runExperiment(b, "E23") }
+func BenchmarkA07BigJoinOrder(b *testing.B) { runExperiment(b, "A07") }

@@ -1,0 +1,58 @@
+// Command mpcbench regenerates the tutorial's tables and figures on the
+// MPC simulator and prints paper-formula vs. measured values.
+//
+// Usage:
+//
+//	mpcbench                 # run every experiment (E01..E20)
+//	mpcbench -run E07,E10    # run a subset
+//	mpcbench -markdown       # emit GitHub-flavored markdown (EXPERIMENTS.md body)
+//	mpcbench -list           # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mpcquery/internal/experiments"
+)
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	markdown := flag.Bool("markdown", false, "emit markdown instead of aligned text")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%s  %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	selected := experiments.All
+	if *runFlag != "" {
+		selected = nil
+		for _, id := range strings.Split(*runFlag, ",") {
+			e := experiments.ByID(strings.TrimSpace(id))
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "mpcbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, *e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		table := e.Run()
+		if *markdown {
+			fmt.Print(table.Markdown())
+		} else {
+			fmt.Print(table.Render())
+			fmt.Printf("  (%v)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

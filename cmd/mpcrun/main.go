@@ -1,0 +1,209 @@
+// Command mpcrun executes one conjunctive query on the MPC simulator
+// and reports the result size together with the metered cost (L, r, C).
+//
+// Usage:
+//
+//	mpcrun -query triangle -n 20000 -p 64
+//	mpcrun -query join2 -n 50000 -p 16 -alg skewjoin -skew zipf
+//	mpcrun -query path4 -n 10000 -p 32 -alg gym-opt -verbose
+//	mpcrun -q 'R(x,y), S(y,z), T(z,x)' -n 5000 -p 27
+//	mpcrun -q 'E(a,b), F(b,c)' -data ./csvdir -p 8
+//
+// Queries: triangle, join2, rst, path<k>, star<k>, cycle<k>, or an
+// arbitrary conjunctive query body via -q. With -data, each atom's
+// relation is loaded from <dir>/<atom>.csv (header row + int64 rows)
+// instead of being generated.
+// Algorithms: auto (default), hashjoin, broadcast, skewjoin, sortjoin,
+// hypercube, skewhc, gym, gym-opt, binaryplan, bigjoin, hl-triangle.
+// Skew: none (default), zipf, heavy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"mpcquery/internal/core"
+	"mpcquery/internal/cost"
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/workload"
+)
+
+func main() {
+	queryName := flag.String("query", "triangle", "named query: triangle, join2, rst, path<k>, star<k>, cycle<k>")
+	queryBody := flag.String("q", "", "conjunctive query body, e.g. 'R(x,y), S(y,z), T(z,x)' (overrides -query)")
+	dataDir := flag.String("data", "", "directory of <atom>.csv files to load instead of generating data")
+	n := flag.Int("n", 10000, "tuples per generated relation")
+	p := flag.Int("p", 16, "number of servers")
+	alg := flag.String("alg", "auto", "algorithm (auto, hashjoin, broadcast, skewjoin, sortjoin, hypercube, skewhc, gym, gym-opt, binaryplan, bigjoin, hl-triangle)")
+	skew := flag.String("skew", "none", "generated data skew: none, zipf, heavy")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("verbose", false, "print per-round metrics")
+	flag.Parse()
+
+	var q hypergraph.Query
+	var err error
+	if *queryBody != "" {
+		q, err = hypergraph.Parse("adhoc", *queryBody)
+	} else {
+		q, err = parseQuery(*queryName)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpcrun:", err)
+		os.Exit(1)
+	}
+	var rels map[string]*relation.Relation
+	if *dataDir != "" {
+		rels, err = loadCSVDir(q, *dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpcrun:", err)
+			os.Exit(1)
+		}
+	} else {
+		rels = generate(q, *n, *skew, *seed)
+	}
+	engine := core.NewEngine(*p, *seed)
+	exec, err := engine.Execute(core.Request{
+		Query:     q,
+		Relations: rels,
+		Algorithm: core.Algorithm(*alg),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpcrun:", err)
+		os.Exit(1)
+	}
+	in := 0
+	for _, r := range rels {
+		in += r.Len()
+	}
+	fmt.Printf("query      %s\n", q)
+	fmt.Printf("servers    p = %d, IN = %d tuples\n", *p, in)
+	fmt.Printf("algorithm  %s (%s)\n", exec.Algorithm, exec.Reason)
+	fmt.Printf("output     %d tuples\n", exec.Output.Len())
+	fmt.Printf("cost       L = %d tuples/server/round, r = %d rounds, C = %d tuples total\n",
+		exec.MaxLoad, exec.Rounds, exec.TotalComm)
+	sizes := map[string]int64{}
+	for _, a := range q.Atoms {
+		n := int64(rels[a.Name].Len())
+		if n < 1 {
+			n = 1
+		}
+		sizes[a.Name] = n
+	}
+	if prof, perr := cost.NewProfile(q, sizes, *p); perr == nil {
+		fmt.Printf("theory     %s\n", indentAfterFirst(prof.String(), "           "))
+	}
+	if *verbose {
+		fmt.Print(exec.Metrics.String())
+	}
+}
+
+// indentAfterFirst indents every line after the first, aligning
+// multi-line values under their label.
+func indentAfterFirst(s, pad string) string {
+	return strings.ReplaceAll(s, "\n", "\n"+pad)
+}
+
+// parseQuery resolves a query name, supporting parameterized families
+// like path7 or star3.
+func parseQuery(name string) (hypergraph.Query, error) {
+	switch name {
+	case "triangle":
+		return hypergraph.Triangle(), nil
+	case "join2":
+		return hypergraph.TwoWayJoin(), nil
+	case "rst":
+		return hypergraph.RST(), nil
+	case "product":
+		return hypergraph.CartesianProduct(), nil
+	}
+	for _, fam := range []struct {
+		prefix string
+		make   func(int) hypergraph.Query
+	}{
+		{"path", hypergraph.Path},
+		{"star", hypergraph.Star},
+		{"cycle", hypergraph.Cycle},
+	} {
+		if strings.HasPrefix(name, fam.prefix) {
+			k, err := strconv.Atoi(name[len(fam.prefix):])
+			if err != nil || k < 1 {
+				return hypergraph.Query{}, fmt.Errorf("bad query %q", name)
+			}
+			return fam.make(k), nil
+		}
+	}
+	return hypergraph.Query{}, fmt.Errorf("unknown query %q", name)
+}
+
+// generate builds input relations for the query under the requested
+// skew profile.
+func generate(q hypergraph.Query, n int, skew string, seed int64) map[string]*relation.Relation {
+	rels := map[string]*relation.Relation{}
+	dom := n / 2
+	if dom < 2 {
+		dom = 2
+	}
+	for i, a := range q.Atoms {
+		s := seed + int64(i)
+		var r *relation.Relation
+		switch skew {
+		case "zipf":
+			r = workload.Zipf(a.Name, padAttrs(a), n, dom, 1.4, s)
+		case "heavy":
+			heavyCount := n / 5
+			r = workload.PlantHeavy(a.Name, "k", "v", n-heavyCount, int64(n), []relation.Value{0}, []int{heavyCount})
+			r = reshape(r, a)
+		default:
+			r = workload.Uniform(a.Name, padAttrs(a), n, dom, s)
+		}
+		rels[a.Name] = r
+	}
+	return rels
+}
+
+func padAttrs(a hypergraph.Atom) []string {
+	attrs := make([]string, len(a.Vars))
+	copy(attrs, a.Vars)
+	return attrs
+}
+
+// loadCSVDir loads <dir>/<atom>.csv for every atom of q.
+func loadCSVDir(q hypergraph.Query, dir string) (map[string]*relation.Relation, error) {
+	rels := map[string]*relation.Relation{}
+	for _, a := range q.Atoms {
+		path := filepath.Join(dir, a.Name+".csv")
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", a.Name, err)
+		}
+		rel, err := relation.ReadCSV(a.Name, f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", a.Name, err)
+		}
+		if rel.Arity() != len(a.Vars) {
+			return nil, fmt.Errorf("load %s: CSV has %d columns, atom wants %d", a.Name, rel.Arity(), len(a.Vars))
+		}
+		rels[a.Name] = rel
+	}
+	return rels, nil
+}
+
+// reshape adapts the 2-column PlantHeavy output to the atom's arity.
+func reshape(r *relation.Relation, a hypergraph.Atom) *relation.Relation {
+	out := relation.New(a.Name, a.Vars...)
+	row := make([]relation.Value, len(a.Vars))
+	for i := 0; i < r.Len(); i++ {
+		src := r.Row(i)
+		for j := range row {
+			row[j] = src[j%2]
+		}
+		out.AppendRow(row)
+	}
+	return out
+}

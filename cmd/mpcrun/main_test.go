@@ -1,0 +1,114 @@
+package main
+
+import (
+	"testing"
+
+	"mpcquery/internal/core"
+	"mpcquery/internal/stats"
+)
+
+func TestParseQuery(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		atoms int
+		ok    bool
+	}{
+		{"triangle", 3, true},
+		{"join2", 2, true},
+		{"rst", 3, true},
+		{"product", 2, true},
+		{"path5", 5, true},
+		{"star3", 3, true},
+		{"cycle4", 4, true},
+		{"pathX", 0, false},
+		{"path0", 0, false},
+		{"nonsense", 0, false},
+	} {
+		q, err := parseQuery(tc.name)
+		if tc.ok && err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("%s: expected error", tc.name)
+			}
+			continue
+		}
+		if len(q.Atoms) != tc.atoms {
+			t.Errorf("%s: %d atoms, want %d", tc.name, len(q.Atoms), tc.atoms)
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	q, err := parseQuery("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, skew := range []string{"none", "zipf", "heavy"} {
+		rels := generate(q, 500, skew, 1)
+		if len(rels) != 3 {
+			t.Fatalf("%s: %d relations", skew, len(rels))
+		}
+		for _, a := range q.Atoms {
+			r := rels[a.Name]
+			if r == nil || r.Len() != 500 || r.Arity() != len(a.Vars) {
+				t.Fatalf("%s: relation %s malformed", skew, a.Name)
+			}
+		}
+	}
+	// Heavy skew must actually plant a heavy hitter.
+	rels := generate(q, 500, "heavy", 1)
+	d := stats.DegreesOf(rels["R"], rels["R"].Attrs()[0])
+	if d.Max() < 90 {
+		t.Fatalf("heavy skew max degree = %d, want ≈ n/5", d.Max())
+	}
+}
+
+// TestEndToEndViaEngine exercises the same path main() drives.
+func TestEndToEndViaEngine(t *testing.T) {
+	q, err := parseQuery("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := generate(q, 300, "none", 2)
+	engine := core.NewEngine(8, 1)
+	exec, err := engine.Execute(core.Request{Query: q, Relations: rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Reference(q, rels)
+	got := exec.Output.Clone()
+	got.Dedup()
+	want.Dedup()
+	if !got.EqualAsSets(want) {
+		t.Fatal("engine output differs from reference")
+	}
+}
+
+func TestHLTriangleViaEngine(t *testing.T) {
+	q, err := parseQuery("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := generate(q, 400, "heavy", 3)
+	engine := core.NewEngine(27, 1)
+	exec, err := engine.Execute(core.Request{Query: q, Relations: rels, Algorithm: core.AlgHLTriangle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Reference(q, rels)
+	got := exec.Output.Clone()
+	got.Dedup()
+	want.Dedup()
+	if !got.EqualAsSets(want) {
+		t.Fatal("HL triangle via engine differs from reference")
+	}
+	// HL on a non-triangle query must be rejected.
+	q2, _ := parseQuery("path3")
+	rels2 := generate(q2, 100, "none", 1)
+	if _, err := engine.Execute(core.Request{Query: q2, Relations: rels2, Algorithm: core.AlgHLTriangle}); err == nil {
+		t.Fatal("expected error for HL on path query")
+	}
+}

@@ -1,0 +1,62 @@
+// Subgraph-query demo (slide 97's motivation: BiGJoin, SEED,
+// TwinTwigJoin, PSgL all compute subgraph queries at scale): count
+// 4-cycles in a power-law graph with the one-round HyperCube algorithm.
+// The cycle query C4(a,b,c,d) = E1(a,b) ⋈ E2(b,c) ⋈ E3(c,d) ⋈ E4(d,a)
+// has τ* = 2, so the skew-free one-round load is N/√p — and because the
+// graph is power-law, the example also shows the planner escalating to
+// SkewHC when the hub vertices trip the heavy-hitter threshold.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"mpcquery/internal/core"
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/workload"
+)
+
+func main() {
+	const (
+		vertices = 3000
+		edges    = 12000
+		servers  = 16
+	)
+	g := workload.PowerLawGraph("E", "a", "b", vertices, edges, 3)
+	// The 4-cycle query: every atom reads the same edge relation.
+	q := hypergraph.Cycle(4)
+	rels := map[string]*relation.Relation{}
+	for _, atom := range q.Atoms {
+		e := relation.New(atom.Name, atom.Vars...)
+		for i := 0; i < g.Len(); i++ {
+			e.AppendRow(g.Row(i))
+		}
+		rels[atom.Name] = e
+	}
+
+	engine := core.NewEngine(servers, 1)
+	exec, err := engine.Execute(core.Request{Query: q, Relations: rels})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("=== subgraph matching: 4-cycles on a power-law graph (slide 97) ===")
+	fmt.Printf("graph        %d vertices, %d power-law edges\n", vertices, edges)
+	fmt.Printf("query        %s (τ* = 2)\n", q)
+	fmt.Printf("planner      %s — %s\n", exec.Algorithm, exec.Reason)
+	fmt.Printf("4-cycles     %d (directed, labelled)\n", exec.Output.Len())
+	fmt.Printf("cost         L = %d, r = %d, C = %d\n", exec.MaxLoad, exec.Rounds, exec.TotalComm)
+	fmt.Printf("theory       skew-free load ≈ #atoms·N/√p = %.0f tuples/server\n",
+		4*float64(edges)/math.Sqrt(servers))
+
+	// Verify against a single-machine worst-case-optimal join.
+	want := core.Reference(q, rels)
+	got := exec.Output.Clone()
+	got.Dedup()
+	want.Dedup()
+	if got.EqualAsSets(want) {
+		fmt.Println("verified     distributed result == single-machine reference")
+	} else {
+		panic("verification failed")
+	}
+}

@@ -1,0 +1,407 @@
+// Package core is the top-level API of the library: an Engine that
+// executes conjunctive queries on a simulated MPC cluster, choosing
+// among the tutorial's algorithms the way the tutorial itself teaches:
+//
+//   - two-way joins: broadcast the small side when |R| ≤ IN/p
+//     (slide 32); use the heavy-hitter-aware skew join when the join
+//     attribute has heavy hitters (slides 29–30); plain parallel hash
+//     join otherwise (slide 23);
+//   - multiway acyclic queries: GYM (distributed Yannakakis) when the
+//     AGM output bound is below the crossover OUT < p^{1−1/τ*}·IN
+//     (slide 78), HyperCube otherwise;
+//   - multiway cyclic queries: SkewHC when any variable has heavy
+//     hitters, plain HyperCube otherwise (slides 34–51).
+//
+// Every execution reports the MPC cost actually metered — max per-round
+// load L, rounds r, total communication C — next to the result.
+//
+// Semantics: queries are evaluated under set semantics, as everywhere
+// in the MPC join theory — duplicate input tuples do not multiply
+// output bindings. Workloads needing SQL bag semantics (e.g. SUM over a
+// join with duplicate rows) should carry a unique key column, as the
+// analytics example does.
+package core
+
+import (
+	"fmt"
+
+	"mpcquery/internal/aggregate"
+	"mpcquery/internal/bigjoin"
+	"mpcquery/internal/cost"
+	"mpcquery/internal/fractional"
+	"mpcquery/internal/hypercube"
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/join2"
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/stats"
+	"mpcquery/internal/yannakakis"
+)
+
+// Algorithm identifies a parallel query-processing strategy.
+type Algorithm string
+
+// Available algorithms. AlgAuto lets the planner decide.
+const (
+	AlgAuto         Algorithm = "auto"
+	AlgHashJoin     Algorithm = "hashjoin"
+	AlgBroadcast    Algorithm = "broadcast"
+	AlgSkewJoin     Algorithm = "skewjoin"
+	AlgSortJoin     Algorithm = "sortjoin"
+	AlgHyperCube    Algorithm = "hypercube"
+	AlgSkewHC       Algorithm = "skewhc"
+	AlgGYM          Algorithm = "gym"
+	AlgGYMOptimized Algorithm = "gym-opt"
+	AlgBinaryPlan   Algorithm = "binaryplan"
+	// AlgHLTriangle is the multi-round Heavy-Light + Semijoins algorithm
+	// (slides 58–60); it applies only to the triangle query.
+	AlgHLTriangle Algorithm = "hl-triangle"
+	// AlgBigJoin is the variable-at-a-time multi-round join (slide 97,
+	// BiGJoin-style): one extend round per variable plus verify rounds.
+	AlgBigJoin Algorithm = "bigjoin"
+)
+
+// Engine executes conjunctive queries on a fresh simulated cluster per
+// request.
+type Engine struct {
+	// P is the number of servers.
+	P int
+	// Seed drives all hashing and data placement; equal seeds give
+	// bit-identical executions.
+	Seed int64
+}
+
+// NewEngine returns an engine for a p-server cluster.
+func NewEngine(p int, seed int64) *Engine {
+	if p < 1 {
+		panic(fmt.Sprintf("core: engine needs p ≥ 1, got %d", p))
+	}
+	return &Engine{P: p, Seed: seed}
+}
+
+// Request is one query execution request. Relations are keyed by atom
+// name; each relation's columns correspond positionally to the atom's
+// variables.
+type Request struct {
+	Query     hypergraph.Query
+	Relations map[string]*relation.Relation
+	// Algorithm forces a strategy; AlgAuto (or empty) lets the planner
+	// decide.
+	Algorithm Algorithm
+}
+
+// Execution is the result of running a request.
+type Execution struct {
+	// Output is the gathered query answer with schema Query.Vars().
+	Output *relation.Relation
+	// Algorithm actually used.
+	Algorithm Algorithm
+	// Reason explains the planner's choice.
+	Reason string
+	// Cost metrics metered on the simulator.
+	Rounds    int
+	MaxLoad   int64
+	TotalComm int64
+	Metrics   *mpc.Metrics
+}
+
+// Plan decides which algorithm to use for the request and explains why.
+func (e *Engine) Plan(req Request) (Algorithm, string, error) {
+	if req.Algorithm != "" && req.Algorithm != AlgAuto {
+		return req.Algorithm, "forced by request", nil
+	}
+	q := req.Query
+	if err := validate(req); err != nil {
+		return "", "", err
+	}
+	in := 0
+	for _, a := range q.Atoms {
+		in += req.Relations[a.Name].Len()
+	}
+	// Two-way binary join?
+	if isTwoWayBinary(q) {
+		r := req.Relations[q.Atoms[0].Name]
+		s := req.Relations[q.Atoms[1].Name]
+		small := r.Len()
+		if s.Len() < small {
+			small = s.Len()
+		}
+		if small*e.P <= in {
+			return AlgBroadcast, fmt.Sprintf("small side (%d tuples) ≤ IN/p = %d: broadcast it", small, in/e.P), nil
+		}
+		y := relation.SharedAttrs(rename(q.Atoms[0], r), rename(q.Atoms[1], s))[0]
+		threshold := in / e.P
+		if threshold < 1 {
+			threshold = 1
+		}
+		hh := stats.JoinHeavyHitters(rename(q.Atoms[0], r), rename(q.Atoms[1], s), y, threshold)
+		if len(hh) > 0 {
+			return AlgSkewJoin, fmt.Sprintf("%d heavy hitters on %s (threshold %d): skew-aware join", len(hh), y, threshold), nil
+		}
+		return AlgHashJoin, "no skew detected: parallel hash join", nil
+	}
+	acyclic, _ := hypergraph.IsAcyclic(q)
+	if acyclic {
+		// GYM wins when OUT is small (slide 78); use the AGM bound as
+		// the (worst-case) output estimate.
+		sizes := sizesOf(req)
+		agm, err := fractional.AGMBound(q, sizes)
+		if err != nil {
+			return "", "", err
+		}
+		ep, err := fractional.MaxEdgePacking(q)
+		if err != nil {
+			return "", "", err
+		}
+		crossover := cost.GYMCrossoverOut(float64(in), e.P, ep.Tau)
+		if agm < crossover {
+			return AlgGYMOptimized, fmt.Sprintf("acyclic, AGM bound %.0f < crossover %.0f: GYM", agm, crossover), nil
+		}
+		return AlgHyperCube, fmt.Sprintf("acyclic but AGM bound %.0f ≥ crossover %.0f: HyperCube", agm, crossover), nil
+	}
+	// Cyclic: HyperCube, skew-aware when needed.
+	maxN := 0
+	for _, a := range q.Atoms {
+		if n := req.Relations[a.Name].Len(); n > maxN {
+			maxN = n
+		}
+	}
+	threshold := maxN / e.P
+	if threshold < 1 {
+		threshold = 1
+	}
+	heavy := hypercube.HeavyByVar(q, req.Relations, threshold)
+	for v, set := range heavy {
+		if len(set) > 0 {
+			return AlgSkewHC, fmt.Sprintf("cyclic with heavy hitters on %s: SkewHC", v), nil
+		}
+	}
+	return AlgHyperCube, "cyclic, no skew: one-round HyperCube", nil
+}
+
+// Execute plans (unless forced) and runs the request, returning the
+// gathered output and metered costs.
+func (e *Engine) Execute(req Request) (*Execution, error) {
+	alg, reason, err := e.Plan(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(req); err != nil {
+		return nil, err
+	}
+	q := req.Query
+	c := mpc.NewCluster(e.P, e.Seed)
+	seed := uint64(e.Seed)*2654435761 + 12345
+	const outName = "out"
+	switch alg {
+	case AlgHashJoin, AlgBroadcast, AlgSkewJoin, AlgSortJoin:
+		if !isTwoWayBinary(q) {
+			return nil, fmt.Errorf("core: %s requires a two-way binary join, got %s", alg, q)
+		}
+		r := rename(q.Atoms[0], req.Relations[q.Atoms[0].Name])
+		s := rename(q.Atoms[1], req.Relations[q.Atoms[1].Name])
+		switch alg {
+		case AlgHashJoin:
+			join2.HashJoin(c, r, s, outName, seed)
+		case AlgBroadcast:
+			if s.Len() < r.Len() {
+				r, s = s, r
+			}
+			join2.BroadcastJoin(c, r, s, outName)
+		case AlgSkewJoin:
+			join2.SkewJoin(c, r, s, outName, seed)
+		case AlgSortJoin:
+			join2.SortJoin(c, r, s, outName, seed)
+		}
+	case AlgHyperCube:
+		if _, err := hypercube.Run(c, q, req.Relations, outName, seed, hypercube.LocalGeneric); err != nil {
+			return nil, err
+		}
+	case AlgSkewHC:
+		if _, err := hypercube.RunSkewHC(c, q, req.Relations, outName, seed, 0, hypercube.LocalGeneric); err != nil {
+			return nil, err
+		}
+	case AlgGYM, AlgGYMOptimized:
+		ok, jt := hypergraph.IsAcyclic(q)
+		if !ok {
+			return nil, fmt.Errorf("core: %s requires an acyclic query, %s is cyclic", alg, q.Name)
+		}
+		if alg == AlgGYM {
+			yannakakis.GYM(c, jt, req.Relations, outName, seed)
+		} else {
+			yannakakis.GYMOptimized(c, jt, req.Relations, outName, seed)
+		}
+	case AlgBinaryPlan:
+		yannakakis.IterativeBinaryJoin(c, q, req.Relations, outName, seed)
+	case AlgHLTriangle:
+		if q.Name != "triangle" || len(q.Atoms) != 3 {
+			return nil, fmt.Errorf("core: %s applies only to the triangle query", alg)
+		}
+		if _, err := hypercube.HeavyLightTriangle(c, req.Relations, outName, seed); err != nil {
+			return nil, err
+		}
+	case AlgBigJoin:
+		pl, err := bigjoin.NewPlan(q, nil)
+		if err != nil {
+			return nil, err
+		}
+		bigjoin.Run(c, pl, req.Relations, outName, seed)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+	out := c.Gather(outName).Project(q.Name, q.Vars()...)
+	m := c.Metrics()
+	return &Execution{
+		Output:    out,
+		Algorithm: alg,
+		Reason:    reason,
+		Rounds:    m.Rounds(),
+		MaxLoad:   m.MaxLoad(),
+		TotalComm: m.TotalComm(),
+		Metrics:   m,
+	}, nil
+}
+
+// AggregateSpec describes a grouped aggregation over a query's output
+// — the slide-52 workload (SELECT cKey, month, SUM(price) FROM ... GROUP
+// BY cKey, month).
+type AggregateSpec struct {
+	GroupBy []string
+	Fn      relation.AggFunc
+	AggVar  string // aggregated variable (ignored for Count)
+	OutAttr string // name of the aggregate output column
+}
+
+// ExecuteAggregate runs the request's join and then a distributed
+// group-by round over its output, with local pre-aggregation. The
+// returned Execution's Output has schema GroupBy + OutAttr, and the
+// metrics include the aggregation round.
+func (e *Engine) ExecuteAggregate(req Request, spec AggregateSpec) (*Execution, error) {
+	if len(spec.GroupBy) == 0 {
+		return nil, fmt.Errorf("core: aggregate needs group-by variables")
+	}
+	vars := map[string]bool{}
+	for _, v := range req.Query.Vars() {
+		vars[v] = true
+	}
+	for _, g := range spec.GroupBy {
+		if !vars[g] {
+			return nil, fmt.Errorf("core: group-by variable %s not in query", g)
+		}
+	}
+	if spec.Fn != relation.Count && !vars[spec.AggVar] {
+		return nil, fmt.Errorf("core: aggregated variable %s not in query", spec.AggVar)
+	}
+	alg, reason, err := e.Plan(req)
+	if err != nil {
+		return nil, err
+	}
+	forced := req
+	forced.Algorithm = alg
+	exec, err := e.Execute(forced)
+	if err != nil {
+		return nil, err
+	}
+	// Re-run on a fresh cluster so join output stays distributed, then
+	// aggregate in place. (Execute gathers; for the aggregation we want
+	// the distributed fragments, so we re-scatter the gathered output —
+	// placement is free in the model.)
+	c := mpc.NewCluster(e.P, e.Seed)
+	c.ScatterRoundRobin(exec.Output.Rename("joined"))
+	res, err := aggregate.Run(c, aggregate.Spec{
+		Rel:     "joined",
+		GroupBy: spec.GroupBy,
+		Fn:      spec.Fn,
+		AggAttr: spec.AggVar,
+		OutAttr: spec.OutAttr,
+		OutRel:  "agg",
+		Seed:    uint64(e.Seed) ^ 0xa66,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := c.Gather(res.OutRel)
+	return &Execution{
+		Output:    out,
+		Algorithm: alg,
+		Reason:    reason + "; + distributed group-by with combiners",
+		Rounds:    exec.Rounds + res.Rounds,
+		MaxLoad:   maxI64(exec.MaxLoad, c.Metrics().MaxLoad()),
+		TotalComm: exec.TotalComm + c.Metrics().TotalComm(),
+		Metrics:   c.Metrics(),
+	}, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sizesOf returns atom cardinalities (≥ 1, for the LPs).
+func sizesOf(req Request) map[string]int64 {
+	sizes := map[string]int64{}
+	for _, a := range req.Query.Atoms {
+		n := int64(req.Relations[a.Name].Len())
+		if n < 1 {
+			n = 1
+		}
+		sizes[a.Name] = n
+	}
+	return sizes
+}
+
+// validate checks that the request supplies a relation of the right
+// arity for every atom.
+func validate(req Request) error {
+	if len(req.Query.Atoms) == 0 {
+		return fmt.Errorf("core: query %q has no atoms", req.Query.Name)
+	}
+	for _, a := range req.Query.Atoms {
+		r, ok := req.Relations[a.Name]
+		if !ok {
+			return fmt.Errorf("core: no relation for atom %s", a.Name)
+		}
+		if r.Arity() != len(a.Vars) {
+			return fmt.Errorf("core: relation %s has arity %d, atom %s wants %d",
+				r.Name(), r.Arity(), a.Name, len(a.Vars))
+		}
+	}
+	return nil
+}
+
+// isTwoWayBinary reports whether q is a binary-relation two-way join
+// R(x,y) ⋈ S(y,z) the join2 algorithms handle.
+func isTwoWayBinary(q hypergraph.Query) bool {
+	if len(q.Atoms) != 2 || len(q.Atoms[0].Vars) != 2 || len(q.Atoms[1].Vars) != 2 {
+		return false
+	}
+	shared := 0
+	for _, v := range q.Atoms[0].Vars {
+		if q.Atoms[1].HasVar(v) {
+			shared++
+		}
+	}
+	return shared == 1
+}
+
+// rename returns rel with its columns renamed to the atom's variables.
+func rename(a hypergraph.Atom, rel *relation.Relation) *relation.Relation {
+	out := relation.New(a.Name, a.Vars...)
+	for i := 0; i < rel.Len(); i++ {
+		out.AppendRow(rel.Row(i))
+	}
+	return out
+}
+
+// Reference evaluates the query on a single machine with the
+// worst-case-optimal generic join — the ground truth for tests and
+// examples.
+func Reference(q hypergraph.Query, rels map[string]*relation.Relation) *relation.Relation {
+	inputs := make([]*relation.Relation, len(q.Atoms))
+	for i, a := range q.Atoms {
+		inputs[i] = rename(a, rels[a.Name])
+	}
+	return relation.GenericJoin(q.Name, q.Vars(), inputs...)
+}

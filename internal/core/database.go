@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/relation"
+)
+
+// Database is a session-style front end: register relations once, then
+// run any number of ad-hoc conjunctive queries against them. Query
+// bodies use the Datalog-ish syntax of hypergraph.Parse, with atom
+// names resolving to registered relations.
+type Database struct {
+	engine *Engine
+	rels   map[string]*relation.Relation
+}
+
+// NewDatabase creates a database backed by a p-server simulated
+// cluster.
+func NewDatabase(p int, seed int64) *Database {
+	return &Database{
+		engine: NewEngine(p, seed),
+		rels:   map[string]*relation.Relation{},
+	}
+}
+
+// Register stores rel under its name, replacing any previous relation
+// of that name.
+func (db *Database) Register(rel *relation.Relation) {
+	db.rels[rel.Name()] = rel
+}
+
+// Relation returns the registered relation, or nil.
+func (db *Database) Relation(name string) *relation.Relation {
+	return db.rels[name]
+}
+
+// Names lists registered relation names (unordered).
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	return out
+}
+
+// request compiles a query body against the registered relations.
+func (db *Database) request(body string, alg Algorithm) (Request, error) {
+	q, err := hypergraph.Parse("q", body)
+	if err != nil {
+		return Request{}, err
+	}
+	rels := map[string]*relation.Relation{}
+	for _, a := range q.Atoms {
+		r, ok := db.rels[a.Name]
+		if !ok {
+			return Request{}, fmt.Errorf("core: relation %q not registered (have %v)", a.Name, db.Names())
+		}
+		if r.Arity() != len(a.Vars) {
+			return Request{}, fmt.Errorf("core: atom %s has %d variables but relation has arity %d",
+				a.Name, len(a.Vars), r.Arity())
+		}
+		rels[a.Name] = r
+	}
+	return Request{Query: q, Relations: rels, Algorithm: alg}, nil
+}
+
+// Query plans and executes a conjunctive query body, e.g.
+//
+//	db.Query("R(x,y), S(y,z), T(z,x)")
+func (db *Database) Query(body string) (*Execution, error) {
+	req, err := db.request(body, AlgAuto)
+	if err != nil {
+		return nil, err
+	}
+	return db.engine.Execute(req)
+}
+
+// QueryWith executes the body with a forced algorithm.
+func (db *Database) QueryWith(body string, alg Algorithm) (*Execution, error) {
+	req, err := db.request(body, alg)
+	if err != nil {
+		return nil, err
+	}
+	return db.engine.Execute(req)
+}
+
+// QueryAggregate executes the body and then a distributed group-by over
+// its output.
+func (db *Database) QueryAggregate(body string, spec AggregateSpec) (*Execution, error) {
+	req, err := db.request(body, AlgAuto)
+	if err != nil {
+		return nil, err
+	}
+	return db.engine.ExecuteAggregate(req, spec)
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"mpcquery/internal/relation"
+	"mpcquery/internal/workload"
+)
+
+func testDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase(8, 1)
+	r, s, u := workload.TriangleInput(50, 300, 3)
+	db.Register(r)
+	db.Register(s)
+	db.Register(u)
+	// Sales carries a unique oid so the engine's set semantics match SQL
+	// bag semantics for aggregation (see examples/analytics).
+	base := workload.Uniform("tmp", []string{"cust", "month", "price"}, 2000, 40, 5)
+	sales := relation.New("Sales", "oid", "cust", "month", "price")
+	for i := 0; i < base.Len(); i++ {
+		row := base.Row(i)
+		sales.Append(relation.Value(i), row[0], row[1], row[2])
+	}
+	db.Register(sales)
+	return db
+}
+
+func TestDatabaseQueryTriangle(t *testing.T) {
+	db := testDB(t)
+	exec, err := db.Query("R(x,y), S(y,z), T(z,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference from the same registered relations.
+	req, err := db.request("R(x,y), S(y,z), T(z,x)", AlgAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(req.Query, req.Relations)
+	got := exec.Output.Clone()
+	got.Dedup()
+	want.Dedup()
+	if !got.EqualAsSets(want) {
+		t.Fatal("database query differs from reference")
+	}
+}
+
+func TestDatabaseQueryWith(t *testing.T) {
+	db := testDB(t)
+	exec, err := db.QueryWith("R(x,y), S(y,z), T(z,x)", AlgBigJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Algorithm != AlgBigJoin {
+		t.Fatalf("ran %s", exec.Algorithm)
+	}
+}
+
+func TestDatabaseQueryAggregate(t *testing.T) {
+	db := testDB(t)
+	exec, err := db.QueryAggregate("Sales(oid, cust, month, price)", AggregateSpec{
+		GroupBy: []string{"month"},
+		Fn:      relation.Sum,
+		AggVar:  "price",
+		OutAttr: "total",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sales := db.Relation("Sales")
+	want := relation.GroupBy("want", sales,
+		[]string{"month"}, relation.Sum, "price", "total")
+	if !exec.Output.EqualAsSets(want) {
+		t.Fatal("aggregate over database differs")
+	}
+}
+
+func TestDatabaseErrors(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Query("Nope(x,y)"); err == nil {
+		t.Fatal("unregistered relation should error")
+	}
+	if _, err := db.Query("R(x,y,z)"); err == nil {
+		t.Fatal("arity mismatch should error")
+	}
+	if _, err := db.Query("R(x,"); err == nil {
+		t.Fatal("parse error should surface")
+	}
+}
+
+func TestDatabaseRegisterReplaces(t *testing.T) {
+	db := NewDatabase(2, 1)
+	db.Register(relation.FromRows("R", []string{"x", "y"}, [][]relation.Value{{1, 2}}))
+	db.Register(relation.FromRows("R", []string{"x", "y"}, [][]relation.Value{{3, 4}, {5, 6}}))
+	if db.Relation("R").Len() != 2 {
+		t.Fatal("register should replace")
+	}
+	if len(db.Names()) != 1 {
+		t.Fatalf("names = %v", db.Names())
+	}
+}

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+
+	"mpcquery/internal/core"
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/relation"
+)
+
+// ExampleEngine_Execute runs the triangle query on a tiny graph with a
+// simulated 8-server cluster and prints the planner's choice and the
+// answer — the library's canonical entry point.
+func ExampleEngine_Execute() {
+	// One triangle 1-2-3 plus enough disjoint edges that no vertex is a
+	// heavy hitter (the planner would otherwise escalate to SkewHC).
+	edges := [][]relation.Value{{1, 2}, {2, 3}, {3, 1}}
+	for i := relation.Value(0); i < 37; i++ {
+		edges = append(edges, []relation.Value{100 + i, 1000 + i})
+	}
+	r := relation.FromRows("R", []string{"x", "y"}, edges)
+	s := relation.FromRows("S", []string{"y", "z"}, edges)
+	t := relation.FromRows("T", []string{"z", "x"}, edges)
+
+	engine := core.NewEngine(8, 1)
+	exec, err := engine.Execute(core.Request{
+		Query:     hypergraph.Triangle(),
+		Relations: map[string]*relation.Relation{"R": r, "S": s, "T": t},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("algorithm:", exec.Algorithm)
+	fmt.Println("rounds:", exec.Rounds)
+	fmt.Println("triangles:", exec.Output.Len())
+	// Output:
+	// algorithm: hypercube
+	// rounds: 1
+	// triangles: 3
+}
+
+// ExampleEngine_Plan shows the planner explaining its decision without
+// executing anything.
+func ExampleEngine_Plan() {
+	small := relation.FromRows("R", []string{"x", "y"}, [][]relation.Value{{1, 2}})
+	big := relation.New("S", "y", "z")
+	for i := relation.Value(0); i < 1000; i++ {
+		big.Append(i%50, i)
+	}
+	engine := core.NewEngine(8, 1)
+	alg, reason, err := engine.Plan(core.Request{
+		Query:     hypergraph.TwoWayJoin(),
+		Relations: map[string]*relation.Relation{"R": small, "S": big},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(alg, "—", reason)
+	// Output:
+	// broadcast — small side (1 tuples) ≤ IN/p = 125: broadcast it
+}

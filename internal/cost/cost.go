@@ -1,0 +1,260 @@
+// Package cost collects the tutorial's analytic cost formulas: the
+// Chernoff tail bounds for hash-partition load with and without skew
+// (slides 24–25), the skew-threshold curve of slide 26, the HyperCube
+// load formulas and the skew exponent ψ* (slides 40 and 47), the
+// communication/round lower bounds for joins, sorting, and matrix
+// multiplication (slides 56, 105, 123–125), and the GYM-vs-HyperCube
+// crossover (slide 78). Benchmarks compare these predictions against
+// loads measured on the simulator.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"mpcquery/internal/fractional"
+	"mpcquery/internal/hypergraph"
+)
+
+// HashLoadTailBound returns the slide-24/25 upper bound on
+// Pr[L ≥ (1+δ)·IN/p] for hash-partitioning IN tuples over p servers
+// when every join value has degree exactly d:
+//
+//	p · exp(−δ²·IN / (3·p·d))
+//
+// With d = 1 this is the no-skew bound of slide 24. The bound can
+// exceed 1, in which case it is vacuous.
+func HashLoadTailBound(in float64, p int, d float64, delta float64) float64 {
+	return float64(p) * math.Exp(-delta*delta*in/(3*float64(p)*d))
+}
+
+// SkewThresholdDegree inverts HashLoadTailBound: the largest degree d
+// such that the probability of exceeding (1+δ)·IN/p stays ≤ failProb.
+// This regenerates the slide-26 curve (IN = 100 billion, δ = 0.3,
+// failProb = 0.05, p on the x axis).
+func SkewThresholdDegree(in float64, p int, delta, failProb float64) float64 {
+	// failProb = p·exp(−δ²·IN/(3pd))  ⇒  d = δ²·IN / (3p·ln(p/failProb)).
+	return delta * delta * in / (3 * float64(p) * math.Log(float64(p)/failProb))
+}
+
+// ExpectedHashLoad is the ideal per-server load IN/p.
+func ExpectedHashLoad(in float64, p int) float64 { return in / float64(p) }
+
+// CartesianLoad is the optimal one-round load of the grid Cartesian
+// product algorithm (slide 28): 2·sqrt(|R|·|S|/p).
+func CartesianLoad(r, s float64, p int) float64 {
+	return 2 * math.Sqrt(r*s/float64(p))
+}
+
+// SkewJoinLoad is the slide-30 skew-aware two-way join bound:
+// O(sqrt(OUT/p) + IN/p); the constant returned is the bare expression.
+func SkewJoinLoad(in, out float64, p int) float64 {
+	return math.Sqrt(out/float64(p)) + in/float64(p)
+}
+
+// HyperCubeLoadEqualSizes is the skew-free one-round load N/p^{1/τ*}
+// for a query whose relations all have N tuples (slide 40).
+func HyperCubeLoadEqualSizes(q hypergraph.Query, n float64, p int) (float64, error) {
+	ep, err := fractional.MaxEdgePacking(q)
+	if err != nil {
+		return 0, err
+	}
+	return n / math.Pow(float64(p), 1/ep.Tau), nil
+}
+
+// HyperCubeLoad is the general skew-free one-round optimum
+// max over edge packings u of (Π_j |S_j|^{u_j} / p)^{1/Σu} (slide 40),
+// computed via the share LP (equal by duality).
+func HyperCubeLoad(q hypergraph.Query, sizes map[string]int64, p int) (float64, error) {
+	sh, err := fractional.OptimalShares(q, sizes, p)
+	if err != nil {
+		return 0, err
+	}
+	return sh.FractionalLoad, nil
+}
+
+// TriangleOneRoundLB is the slide-36 lower bound for any one-round
+// triangle algorithm on skew-free inputs: Ω(N/p^{2/3}).
+func TriangleOneRoundLB(n float64, p int) float64 {
+	return n / math.Pow(float64(p), 2.0/3.0)
+}
+
+// PsiStar computes the skew exponent ψ* of slide 47: the maximum of
+// τ*(Q_x) over all subsets x of variables (taking the residual query
+// that deletes x), including x = ∅. The skewed one-round optimal load
+// is IN/p^{1/ψ*}.
+func PsiStar(q hypergraph.Query) (float64, error) {
+	best := 0.0
+	for _, heavy := range q.VarSubsets() {
+		res, _ := q.Residual(heavy)
+		if len(res.Atoms) == 0 {
+			continue
+		}
+		ep, err := fractional.MaxEdgePacking(res)
+		if err != nil {
+			return 0, fmt.Errorf("ψ* of %s: %w", q.Name, err)
+		}
+		if ep.Tau > best {
+			best = ep.Tau
+		}
+	}
+	return best, nil
+}
+
+// SkewedOneRoundLoad is IN/p^{1/ψ*} (slide 51).
+func SkewedOneRoundLoad(q hypergraph.Query, in float64, p int) (float64, error) {
+	psi, err := PsiStar(q)
+	if err != nil {
+		return 0, err
+	}
+	return in / math.Pow(float64(p), 1/psi), nil
+}
+
+// MultiRoundLoadLB is the slide-56 counting lower bound: a server that
+// receives r·L tuples can report at most (r·L)^{ρ*} outputs, and the p
+// servers must jointly report OUT = IN^{ρ*} outputs in the worst case,
+// so L ≥ IN/(r^{1/ρ*}·p^{1/ρ*}) — for constant r, L = Ω(IN/p^{1/ρ*}).
+func MultiRoundLoadLB(q hypergraph.Query, in float64, p, rounds int) (float64, error) {
+	ec, err := fractional.MinEdgeCover(q)
+	if err != nil {
+		return 0, err
+	}
+	return in / math.Pow(float64(rounds)*float64(p), 1/ec.Rho), nil
+}
+
+// SortRoundsLB is the slide-105 bound: any MPC sort of N items with
+// per-round load L needs Ω(log_L N) rounds.
+func SortRoundsLB(n, load float64) float64 {
+	if load < 2 {
+		load = 2
+	}
+	return math.Log(n) / math.Log(load)
+}
+
+// SortCommLB is the slide-105 bound on total communication:
+// Ω(N·log_L N).
+func SortCommLB(n, load float64) float64 {
+	return n * SortRoundsLB(n, load)
+}
+
+// MatMulRectComm is the one-round rectangle-block communication
+// C = Θ(n⁴/L) (slides 110/122): with load L = 2tn each of the
+// K² = (n/t)² processors receives L words, so C = K²·L = 4n⁴/L.
+func MatMulRectComm(n, load float64) float64 {
+	return 4 * n * n * n * n / load
+}
+
+// MatMulSquareComm is the multi-round square-block communication
+// C = Θ(n³/√L) (slide 122).
+func MatMulSquareComm(n, load float64) float64 {
+	return n * n * n / math.Sqrt(load)
+}
+
+// MatMulCommLB is the round-independent communication lower bound
+// C = Ω(n³/√L) (slides 123–124): a processor receiving L words performs
+// at most O(L^{3/2}) elementary products (by the AGM bound with
+// ρ* = 3/2), and n³ products are required.
+func MatMulCommLB(n, load float64) float64 {
+	return n * n * n / math.Sqrt(load)
+}
+
+// MatMulRoundsLB is the slide-125 round bound:
+// r = Ω(max(n³/(p·L^{3/2}), log_L n)).
+func MatMulRoundsLB(n, load float64, p int) float64 {
+	join := n * n * n / (float64(p) * math.Pow(load, 1.5))
+	agg := math.Log(n) / math.Log(math.Max(load, 2))
+	return math.Max(join, agg)
+}
+
+// GYMCrossoverOut is the slide-78 threshold: GYM's load
+// (IN+OUT)/p beats HyperCube's IN/p^{1/τ*} exactly when
+// OUT < p^{1−1/τ*}·IN (up to constants).
+func GYMCrossoverOut(in float64, p int, tau float64) float64 {
+	return math.Pow(float64(p), 1-1/tau) * in
+}
+
+// GHDRoundsLoad is the slide-95 trade-off for a width-w, depth-d GHD:
+// r = O(d) rounds and L = O((IN^w + OUT)/p).
+func GHDRoundsLoad(in, out float64, w, d, p int) (rounds float64, load float64) {
+	return float64(d), (math.Pow(in, float64(w)) + out) / float64(p)
+}
+
+// SpeedupExponent returns the HyperCube speedup exponent 1/τ* (slide
+// 62): doubling throughput requires 2^{τ*} times more servers.
+func SpeedupExponent(q hypergraph.Query) (float64, error) {
+	ep, err := fractional.MaxEdgePacking(q)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / ep.Tau, nil
+}
+
+// Profile summarizes every analytic quantity the tutorial attaches to
+// one query at one scale: the three exponents and the loads they imply.
+type Profile struct {
+	Query   string
+	Acyclic bool
+	Tau     float64 // fractional edge packing number τ*
+	Psi     float64 // skew exponent ψ*
+	Rho     float64 // fractional edge cover number ρ*
+	AGM     float64 // AGM output bound for the given sizes
+	IN      int64
+	P       int
+	// Implied loads for this IN and p.
+	OneRoundNoSkew float64 // IN/p^{1/τ*}
+	OneRoundSkew   float64 // IN/p^{1/ψ*}
+	MultiRoundLB   float64 // IN/(r·p)^{1/ρ*} at r = 1
+}
+
+// NewProfile computes the profile of q for the given relation sizes and
+// cluster size.
+func NewProfile(q hypergraph.Query, sizes map[string]int64, p int) (*Profile, error) {
+	ep, err := fractional.MaxEdgePacking(q)
+	if err != nil {
+		return nil, err
+	}
+	psi, err := PsiStar(q)
+	if err != nil {
+		return nil, err
+	}
+	ec, err := fractional.MinEdgeCover(q)
+	if err != nil {
+		return nil, err
+	}
+	agm, err := fractional.AGMBound(q, sizes)
+	if err != nil {
+		return nil, err
+	}
+	var in int64
+	for _, n := range sizes {
+		in += n
+	}
+	acyclic, _ := hypergraph.IsAcyclic(q)
+	pf := float64(p)
+	return &Profile{
+		Query:          q.String(),
+		Acyclic:        acyclic,
+		Tau:            ep.Tau,
+		Psi:            psi,
+		Rho:            ec.Rho,
+		AGM:            agm,
+		IN:             in,
+		P:              p,
+		OneRoundNoSkew: float64(in) / math.Pow(pf, 1/ep.Tau),
+		OneRoundSkew:   float64(in) / math.Pow(pf, 1/psi),
+		MultiRoundLB:   float64(in) / math.Pow(pf, 1/ec.Rho),
+	}, nil
+}
+
+// String renders the profile as the tutorial's per-query summary row.
+func (pr *Profile) String() string {
+	shape := "cyclic"
+	if pr.Acyclic {
+		shape = "acyclic"
+	}
+	return fmt.Sprintf(
+		"%s [%s]\n  τ* = %.3g  ψ* = %.3g  ρ* = %.3g  AGM ≤ %.3g\n"+
+			"  1-round loads: no-skew IN/p^{1/τ*} = %.0f, skew IN/p^{1/ψ*} = %.0f; multi-round LB IN/p^{1/ρ*} = %.0f  (IN=%d, p=%d)",
+		pr.Query, shape, pr.Tau, pr.Psi, pr.Rho, pr.AGM,
+		pr.OneRoundNoSkew, pr.OneRoundSkew, pr.MultiRoundLB, pr.IN, pr.P)
+}

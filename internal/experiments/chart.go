@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve of an ASCII chart.
+type Series struct {
+	Name   string
+	Marker byte
+	X, Y   []float64
+}
+
+// Chart renders one or more series as a fixed-size ASCII scatter/line
+// chart, the medium this repository uses to regenerate the tutorial's
+// *figures* (as opposed to its tables). Log-scaled axes suit the
+// load/communication curves, which span orders of magnitude.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Width  int // plot columns (default 56)
+	Height int // plot rows (default 14)
+	Series []Series
+}
+
+// Render draws the chart.
+func (ch *Chart) Render() string {
+	w, h := ch.Width, ch.Height
+	if w <= 0 {
+		w = 56
+	}
+	if h <= 0 {
+		h = 14
+	}
+	tx := func(v float64) float64 {
+		if ch.LogX {
+			return math.Log10(math.Max(v, 1e-12))
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if ch.LogY {
+			return math.Log10(math.Max(v, 1e-12))
+		}
+		return v
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range ch.Series {
+		for i := range s.X {
+			minX = math.Min(minX, tx(s.X[i]))
+			maxX = math.Max(maxX, tx(s.X[i]))
+			minY = math.Min(minY, ty(s.Y[i]))
+			maxY = math.Max(maxY, ty(s.Y[i]))
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return ch.Title + " (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for _, s := range ch.Series {
+		for i := range s.X {
+			cx := int(math.Round((tx(s.X[i]) - minX) / (maxX - minX) * float64(w-1)))
+			cy := int(math.Round((ty(s.Y[i]) - minY) / (maxY - minY) * float64(h-1)))
+			row := h - 1 - cy
+			if row >= 0 && row < h && cx >= 0 && cx < w {
+				grid[row][cx] = s.Marker
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", ch.Title)
+	yHi, yLo := maxY, minY
+	if ch.LogY {
+		yHi, yLo = math.Pow(10, maxY), math.Pow(10, minY)
+	}
+	for i, row := range grid {
+		label := "          "
+		if i == 0 {
+			label = leftPad(fmtAxis(yHi), 10)
+		}
+		if i == h-1 {
+			label = leftPad(fmtAxis(yLo), 10)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	xHi, xLo := maxX, minX
+	if ch.LogX {
+		xHi, xLo = math.Pow(10, maxX), math.Pow(10, minX)
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", 10),
+		fmtAxis(xLo), strings.Repeat(" ", maxInt(1, w-len(fmtAxis(xLo))-len(fmtAxis(xHi)))), fmtAxis(xHi))
+	axes := ch.XLabel
+	if ch.YLabel != "" {
+		axes = ch.YLabel + " vs " + ch.XLabel
+	}
+	if axes != "" {
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 10), axes)
+	}
+	var names []string
+	for _, s := range ch.Series {
+		names = append(names, fmt.Sprintf("%c = %s", s.Marker, s.Name))
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "%s  legend: %s\n", strings.Repeat(" ", 10), strings.Join(names, ", "))
+	return b.String()
+}
+
+func fmtAxis(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6 || (av > 0 && av < 1e-2):
+		return fmt.Sprintf("%.1e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func leftPad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return strings.Repeat(" ", n-len(s)) + s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

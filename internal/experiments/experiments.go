@@ -1,0 +1,157 @@
+// Package experiments regenerates every table- and figure-like artifact
+// of the tutorial's slides (the per-experiment index lives in
+// DESIGN.md). Each experiment is a pure function returning a Table of
+// paper-formula vs. simulator-measured values; cmd/mpcbench prints them
+// and bench_test.go wraps them as benchmarks.
+//
+// Scales are chosen so the whole suite runs on a laptop in minutes; the
+// quantities under study (loads, rounds, communication — all relative
+// to IN and p) are scale-free, which is what makes the comparison to
+// the slides meaningful.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID       string
+	Title    string
+	SlideRef string
+	Header   []string
+	Rows     [][]string
+	Notes    []string
+	// Charts render figure-type artifacts (curves) under the table.
+	Charts []*Chart
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Header) {
+		panic(fmt.Sprintf("experiments: row has %d cells, header has %d", len(cells), len(t.Header)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a free-text note shown under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render returns an aligned plain-text rendering.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s)\n", t.ID, t.Title, t.SlideRef)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "  %-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	for _, ch := range t.Charts {
+		b.WriteByte('\n')
+		b.WriteString(ch.Render())
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n*Source: %s*\n\n", t.ID, t.Title, t.SlideRef)
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Header, " | "))
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	for _, ch := range t.Charts {
+		fmt.Fprintf(&b, "\n```\n%s```\n", ch.Render())
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Experiment pairs an ID with its driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() *Table
+}
+
+// All lists every experiment in ID order.
+var All = []Experiment{
+	{"E01", "MPC cost regimes", E01CostRegimes},
+	{"E02", "Hash-join load concentration vs degree", E02LoadConcentration},
+	{"E03", "Skew-threshold curve", E03SkewThreshold},
+	{"E04", "Cartesian product grid load", E04Cartesian},
+	{"E05", "Skew-aware two-way join", E05SkewJoin},
+	{"E06", "Parallel sort join", E06SortJoin},
+	{"E07", "Triangle HyperCube vs baselines", E07TriangleHC},
+	{"E08", "Unequal-size triangle shares", E08UnequalShares},
+	{"E09", "HyperCube speedup curve", E09Speedup},
+	{"E10", "SkewHC residual patterns", E10SkewHC},
+	{"E11", "1-round vs multi-round summary", E11OneVsMulti},
+	{"E12", "Scalability limit of IN/p^{1/τ*}", E12ScalabilityLimit},
+	{"E13", "Binary-join intermediate blowup", E13IntermediateBlowup},
+	{"E14", "Yannakakis and GYM round counts", E14GYM},
+	{"E15", "GYM vs HyperCube crossover", E15Crossover},
+	{"E16", "GHD width/depth trade-off", E16WidthDepth},
+	{"E17", "PSRS load scaling", E17PSRS},
+	{"E18", "Sorting round/communication bounds", E18SortBounds},
+	{"E19", "Matrix multiplication costs", E19MatMul},
+	{"E20", "Communication vs load trade-off", E20CommLoadTradeoff},
+}
+
+// ByID returns the experiment with the given ID, or nil.
+func ByID(id string) *Experiment {
+	for i := range All {
+		if All[i].ID == id {
+			return &All[i]
+		}
+	}
+	return nil
+}
+
+// helpers
+
+func fmtInt(v int64) string { return fmt.Sprintf("%d", v) }
+func fmtF(v float64) string { return fmt.Sprintf("%.1f", v) }
+func fmtRatio(a, b float64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", a/b)
+}
+func fmtSci(v float64) string { return fmt.Sprintf("%.3g", v) }

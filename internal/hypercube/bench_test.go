@@ -1,0 +1,56 @@
+package hypercube
+
+import (
+	"fmt"
+	"testing"
+
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/workload"
+)
+
+func BenchmarkHyperCubeTriangle(b *testing.B) {
+	const nv, ne = 3000, 30000
+	r, s, u := workload.TriangleInput(nv, ne, 7)
+	rels := map[string]*relation.Relation{"R": r, "S": s, "T": u}
+	for _, p := range []int{8, 27, 64} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := mpc.NewCluster(p, 1)
+				if _, err := Run(c, hypergraph.Triangle(), rels, "out", 42, LocalGeneric); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSkewHCTriangle(b *testing.B) {
+	const k = 2048
+	r := relation.New("R", "x", "y")
+	s := relation.New("S", "y", "z")
+	u := relation.New("T", "z", "x")
+	for i := relation.Value(0); i < k; i++ {
+		r.Append(0, i)
+		u.Append(i, 0)
+		s.Append(i, (i*7+3)%k)
+	}
+	rels := map[string]*relation.Relation{"R": r, "S": s, "T": u}
+	for i := 0; i < b.N; i++ {
+		c := mpc.NewCluster(64, 1)
+		if _, err := RunSkewHC(c, hypergraph.Triangle(), rels, "out", 42, 0, LocalGeneric); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeavyLightTriangle(b *testing.B) {
+	rels := hubTriangle(2000)
+	for i := 0; i < b.N; i++ {
+		c := mpc.NewCluster(64, 1)
+		if _, err := HeavyLightTriangle(c, rels, "out", 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,505 @@
+// Package hypercube implements the HyperCube (Shares) algorithm for
+// one-round multiway joins in the MPC model (slides 34–45; Afrati &
+// Ullman '10, Beame, Koutris & Suciu '13/'14), and SkewHC, its
+// skew-resilient extension via heavy/light residual queries (slides
+// 47–51).
+//
+// HyperCube organizes the p servers into a k-dimensional grid with one
+// dimension (share) per query variable, Π shares ≤ p. Each tuple of an
+// atom is replicated to every grid cell that agrees with the hashes of
+// the variables the atom contains; every server then joins its corner
+// of the space locally. With shares chosen by the LP of slide 38, the
+// skew-free load is the optimal IN/p^{1/τ*}.
+//
+// SkewHC first identifies, per variable, the values with degree above
+// N/p (the heavy hitters — at most p per attribute), then runs one
+// sub-HyperCube per heavy/light pattern, giving heavy variables a share
+// of 1 and re-optimizing the light shares for the residual query. Every
+// output tuple has exactly one true pattern, so the union of the
+// pattern sub-joins is the join, without duplicates.
+package hypercube
+
+import (
+	"fmt"
+	"sort"
+
+	"mpcquery/internal/fractional"
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/stats"
+)
+
+// Plan is a HyperCube share assignment for one query.
+type Plan struct {
+	Query  hypergraph.Query
+	Vars   []string // q.Vars() order; dimension i belongs to Vars[i]
+	Shares []int    // one per variable; product ≤ p
+	Seeds  []uint64 // per-variable hash seeds (independent hash functions)
+
+	stride []int // cached mixed-radix strides
+}
+
+// NewPlan computes LP-optimal integer shares for the query given the
+// relation sizes (sizes maps atom name → cardinality).
+func NewPlan(q hypergraph.Query, sizes map[string]int64, p int, seed uint64) (*Plan, error) {
+	sh, err := fractional.OptimalShares(q, sizes, p)
+	if err != nil {
+		return nil, fmt.Errorf("hypercube: %w", err)
+	}
+	return PlanWithShares(q, sh.Integer, seed), nil
+}
+
+// PlanWithShares builds a plan from explicit shares (one per variable in
+// q.Vars() order). Used directly for ablations and by SkewHC's residual
+// sub-plans.
+func PlanWithShares(q hypergraph.Query, shares []int, seed uint64) *Plan {
+	vars := q.Vars()
+	if len(shares) != len(vars) {
+		panic(fmt.Sprintf("hypercube: %d shares for %d variables", len(shares), len(vars)))
+	}
+	prod := 1
+	for _, s := range shares {
+		if s < 1 {
+			panic("hypercube: share < 1")
+		}
+		prod *= s
+	}
+	seeds := make([]uint64, len(vars))
+	for i := range seeds {
+		seeds[i] = seed*0x9e3779b97f4a7c15 + uint64(i+1)*0xbf58476d1ce4e5b9
+	}
+	pl := &Plan{Query: q, Vars: vars, Shares: shares, Seeds: seeds}
+	pl.stride = pl.strides()
+	return pl
+}
+
+// GridSize returns the number of servers the plan actually addresses
+// (the product of shares).
+func (pl *Plan) GridSize() int {
+	prod := 1
+	for _, s := range pl.Shares {
+		prod *= s
+	}
+	return prod
+}
+
+// varIndex returns the dimension of variable v.
+func (pl *Plan) varIndex(v string) int {
+	for i, x := range pl.Vars {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// strides returns mixed-radix strides: server = Σ coord[i]·stride[i].
+func (pl *Plan) strides() []int {
+	k := len(pl.Shares)
+	st := make([]int, k)
+	acc := 1
+	for i := k - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= pl.Shares[i]
+	}
+	return st
+}
+
+// RouteTuple calls emit(server) for every grid cell that must receive a
+// tuple of the given atom: dimensions of variables in the atom are
+// fixed by hashing the tuple's values, the remaining dimensions range
+// over their full shares (slide 37). row is in atom-variable order.
+func (pl *Plan) RouteTuple(atom hypergraph.Atom, row []relation.Value, base int, emit func(server int)) {
+	k := len(pl.Vars)
+	fixed := make([]int, k)
+	for i := range fixed {
+		fixed[i] = -1
+	}
+	for ai, v := range atom.Vars {
+		d := pl.varIndex(v)
+		if d < 0 {
+			panic(fmt.Sprintf("hypercube: atom %s var %s not in plan", atom.Name, v))
+		}
+		fixed[d] = int(relation.Hash64(row[ai], pl.Seeds[d]) % uint64(pl.Shares[d]))
+	}
+	st := pl.stride
+	var walk func(dim, acc int)
+	walk = func(dim, acc int) {
+		if dim == k {
+			emit(base + acc)
+			return
+		}
+		if fixed[dim] >= 0 {
+			walk(dim+1, acc+fixed[dim]*st[dim])
+			return
+		}
+		for cRaw := 0; cRaw < pl.Shares[dim]; cRaw++ {
+			walk(dim+1, acc+cRaw*st[dim])
+		}
+	}
+	walk(0, 0)
+}
+
+// Result describes a HyperCube execution.
+type Result struct {
+	OutName string
+	Rounds  int
+	Plan    *Plan
+	// Patterns holds SkewHC's per-pattern sub-plans (nil for plain runs).
+	Patterns []PatternPlan
+}
+
+// LocalAlg selects the local join algorithm each server runs after the
+// shuffle (slide 32: the local algorithm is independent of the parallel
+// one).
+type LocalAlg int
+
+// Local join algorithm choices.
+const (
+	// LocalGeneric is the worst-case-optimal generic join — the default;
+	// it never builds oversized intermediates on cyclic queries.
+	LocalGeneric LocalAlg = iota
+	// LocalBinary evaluates by iterative binary hash joins; exists as an
+	// ablation baseline (slide 63's intermediate blowup can resurface
+	// locally with this choice).
+	LocalBinary
+	// LocalLeapfrog is the sorted-trie Leapfrog Triejoin — a second
+	// worst-case-optimal implementation with different constants.
+	LocalLeapfrog
+)
+
+// prepare renames each input relation's attributes to the query's
+// variable names (matched by position) and validates arities.
+func prepare(q hypergraph.Query, rels map[string]*relation.Relation) map[string]*relation.Relation {
+	out := make(map[string]*relation.Relation, len(q.Atoms))
+	for _, a := range q.Atoms {
+		r, ok := rels[a.Name]
+		if !ok {
+			panic(fmt.Sprintf("hypercube: no relation for atom %s", a.Name))
+		}
+		if r.Arity() != len(a.Vars) {
+			panic(fmt.Sprintf("hypercube: relation %s arity %d, atom wants %d", a.Name, r.Arity(), len(a.Vars)))
+		}
+		renamed := relation.New(a.Name, a.Vars...)
+		for i := 0; i < r.Len(); i++ {
+			renamed.AppendRow(r.Row(i))
+		}
+		out[a.Name] = renamed
+	}
+	return out
+}
+
+// Run executes the one-round HyperCube algorithm with LP-optimal shares
+// and leaves the join result (schema = q.Vars()) distributed under
+// outName.
+func Run(c *mpc.Cluster, q hypergraph.Query, rels map[string]*relation.Relation, outName string, seed uint64, alg LocalAlg) (*Result, error) {
+	sizes := map[string]int64{}
+	for _, a := range q.Atoms {
+		sizes[a.Name] = int64(rels[a.Name].Len())
+		if sizes[a.Name] == 0 {
+			sizes[a.Name] = 1 // LP needs positive sizes
+		}
+	}
+	pl, err := NewPlan(q, sizes, c.P(), seed)
+	if err != nil {
+		return nil, err
+	}
+	res := RunWithPlan(c, pl, rels, outName, alg)
+	return res, nil
+}
+
+// RunWithPlan executes HyperCube with an explicit plan.
+func RunWithPlan(c *mpc.Cluster, pl *Plan, rels map[string]*relation.Relation, outName string, alg LocalAlg) *Result {
+	q := pl.Query
+	prepped := prepare(q, rels)
+	for _, a := range q.Atoms {
+		c.ScatterRoundRobin(prepped[a.Name])
+	}
+	start := c.Metrics().Rounds()
+	atoms := q.Atoms
+	c.Round("hypercube:shuffle", func(srv *mpc.Server, out *mpc.Out) {
+		for _, a := range atoms {
+			frag := srv.Rel(a.Name)
+			if frag == nil {
+				continue
+			}
+			st := out.Open(outName+":"+a.Name, a.Vars...)
+			for i := 0; i < frag.Len(); i++ {
+				row := frag.Row(i)
+				pl.RouteTuple(a, row, 0, func(server int) {
+					st.SendRow(server, row)
+				})
+			}
+		}
+	})
+	localJoin(c, q, outName, "", alg)
+	return &Result{OutName: outName, Rounds: c.Metrics().Rounds() - start, Plan: pl}
+}
+
+// localJoin joins each server's atom fragments (stored under
+// outName+":"+atom+suffix) into outName (appending).
+func localJoin(c *mpc.Cluster, q hypergraph.Query, outName, suffix string, alg LocalAlg) {
+	atoms := q.Atoms
+	vars := q.Vars()
+	c.LocalStep(func(srv *mpc.Server) {
+		inputs := make([]*relation.Relation, len(atoms))
+		for i, a := range atoms {
+			inputs[i] = srv.RelOrEmpty(outName+":"+a.Name+suffix, a.Vars...)
+			srv.Delete(outName + ":" + a.Name + suffix)
+		}
+		var joined *relation.Relation
+		switch alg {
+		case LocalGeneric:
+			joined = relation.GenericJoin(outName, vars, inputs...)
+		case LocalBinary:
+			joined = relation.MultiJoin(outName, inputs...).Project(outName, vars...)
+		case LocalLeapfrog:
+			joined = relation.LeapfrogJoin(outName, vars, inputs...)
+		default:
+			panic("hypercube: unknown local algorithm")
+		}
+		if prev := srv.Rel(outName); prev != nil {
+			prev.AppendAll(joined)
+		} else {
+			srv.Put(joined)
+		}
+	})
+}
+
+// PatternPlan describes one heavy/light pattern of a SkewHC execution.
+type PatternPlan struct {
+	Heavy  map[string]bool // variables bound to heavy values
+	Plan   *Plan           // shares: 1 on heavy vars, optimized on light
+	TauRes float64         // τ* of the residual query (for reporting)
+}
+
+// RunSkewHC executes the SkewHC algorithm of slides 47–51:
+//
+//	round 1: per-variable degree summaries are exchanged;
+//	round 2: owners broadcast each variable's heavy hitters
+//	         (degree ≥ threshold; threshold = N_max/p if ≤ 0);
+//	round 3: one sub-HyperCube per heavy/light pattern, all in the same
+//	         round; heavy variables get share 1, light shares are
+//	         re-optimized for the pattern's residual query.
+//
+// Every server then joins each pattern's fragments separately and the
+// union of the pattern joins is the answer, exactly once.
+func RunSkewHC(c *mpc.Cluster, q hypergraph.Query, rels map[string]*relation.Relation, outName string, seed uint64, threshold int, alg LocalAlg) (*Result, error) {
+	p := c.P()
+	prepped := prepare(q, rels)
+	maxN := 0
+	for _, r := range prepped {
+		if r.Len() > maxN {
+			maxN = r.Len()
+		}
+	}
+	if threshold <= 0 {
+		threshold = maxN / p
+		if threshold < 1 {
+			threshold = 1
+		}
+	}
+	for _, a := range q.Atoms {
+		c.ScatterRoundRobin(prepped[a.Name])
+	}
+	start := c.Metrics().Rounds()
+	vars := q.Vars()
+	varIdx := map[string]int{}
+	for i, v := range vars {
+		varIdx[v] = i
+	}
+	atoms := q.Atoms
+
+	// Round 1: per-(variable, value) degree summaries to owner servers.
+	c.Round("skewhc:degrees", func(srv *mpc.Server, out *mpc.Out) {
+		st := out.Open(outName+":deg", "var", "v", "d")
+		counts := map[[2]relation.Value]int{}
+		for _, a := range atoms {
+			frag := srv.Rel(a.Name)
+			if frag == nil {
+				continue
+			}
+			for _, v := range a.Vars {
+				col := frag.MustCol(v)
+				vi := relation.Value(varIdx[v])
+				for i := 0; i < frag.Len(); i++ {
+					counts[[2]relation.Value{vi, frag.Row(i)[col]}]++
+				}
+			}
+		}
+		keys := make([][2]relation.Value, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a][0] != keys[b][0] {
+				return keys[a][0] < keys[b][0]
+			}
+			return keys[a][1] < keys[b][1]
+		})
+		for _, k := range keys {
+			dst := relation.Bucket(relation.Hash64(k[1], 0x5eed)^uint64(k[0]), p)
+			st.Send(dst, k[0], k[1], relation.Value(counts[k]))
+		}
+	})
+
+	// Round 2: owners aggregate and broadcast heavy hitters.
+	thr := threshold
+	c.Round("skewhc:heavy", func(srv *mpc.Server, out *mpc.Out) {
+		st := out.Open(outName+":heavy", "var", "v")
+		deg := srv.Rel(outName + ":deg")
+		if deg == nil {
+			return
+		}
+		agg := map[[2]relation.Value]int{}
+		for i := 0; i < deg.Len(); i++ {
+			row := deg.Row(i)
+			agg[[2]relation.Value{row[0], row[1]}] += int(row[2])
+		}
+		keys := make([][2]relation.Value, 0, len(agg))
+		for k := range agg {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a][0] != keys[b][0] {
+				return keys[a][0] < keys[b][0]
+			}
+			return keys[a][1] < keys[b][1]
+		})
+		for _, k := range keys {
+			if agg[k] >= thr {
+				st.Broadcast(k[0], k[1])
+			}
+		}
+		srv.Delete(outName + ":deg")
+	})
+
+	// Driver derives the (globally agreed) heavy sets from server 0.
+	heavyByVar := make([]map[relation.Value]bool, len(vars))
+	for i := range heavyByVar {
+		heavyByVar[i] = map[relation.Value]bool{}
+	}
+	if hrel := c.Server(0).Rel(outName + ":heavy"); hrel != nil {
+		for i := 0; i < hrel.Len(); i++ {
+			row := hrel.Row(i)
+			heavyByVar[int(row[0])][row[1]] = true
+		}
+	}
+	c.DeleteAll(outName + ":heavy")
+
+	// Enumerate patterns; skip heavy patterns over vars with no heavy
+	// values (they'd be empty).
+	var patterns []PatternPlan
+	for _, heavy := range q.VarSubsets() {
+		skip := false
+		for v := range heavy {
+			if heavy[v] && len(heavyByVar[varIdx[v]]) == 0 {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		res, _ := q.Residual(heavy)
+		var subPlan *Plan
+		tauRes := 0.0
+		shares := make([]int, len(vars))
+		for i := range shares {
+			shares[i] = 1
+		}
+		if len(res.Atoms) > 0 {
+			ep, err := fractional.MaxEdgePacking(res)
+			if err != nil {
+				return nil, fmt.Errorf("skewhc pattern: %w", err)
+			}
+			tauRes = ep.Tau
+			sizes := map[string]int64{}
+			for _, a := range res.Atoms {
+				sizes[a.Name] = int64(prepped[a.Name].Len())
+				if sizes[a.Name] == 0 {
+					sizes[a.Name] = 1
+				}
+			}
+			sh, err := fractional.OptimalShares(res, sizes, p)
+			if err != nil {
+				return nil, fmt.Errorf("skewhc shares: %w", err)
+			}
+			for i, v := range sh.Vars {
+				shares[varIdx[v]] = sh.Integer[i]
+			}
+		}
+		subPlan = PlanWithShares(q, shares, seed+uint64(len(patterns))+1)
+		patterns = append(patterns, PatternPlan{Heavy: heavy, Plan: subPlan, TauRes: tauRes})
+	}
+
+	// Round 3: route every tuple under every pattern consistent with its
+	// own variables' heavy status.
+	hbv := heavyByVar
+	pats := patterns
+	c.Round("skewhc:shuffle", func(srv *mpc.Server, out *mpc.Out) {
+		for _, a := range atoms {
+			frag := srv.Rel(a.Name)
+			if frag == nil {
+				continue
+			}
+			cols := make([]int, len(a.Vars))
+			dims := make([]int, len(a.Vars))
+			for i, v := range a.Vars {
+				cols[i] = frag.MustCol(v)
+				dims[i] = varIdx[v]
+			}
+			streams := make([]*mpc.Stream, len(pats))
+			for pi := range pats {
+				streams[pi] = out.Open(fmt.Sprintf("%s:%s@%d", outName, a.Name, pi), a.Vars...)
+			}
+			for i := 0; i < frag.Len(); i++ {
+				row := frag.Row(i)
+				for pi, pat := range pats {
+					match := true
+					for j, v := range a.Vars {
+						isHeavy := hbv[dims[j]][row[cols[j]]]
+						if isHeavy != pat.Heavy[v] {
+							match = false
+							break
+						}
+					}
+					if !match {
+						continue
+					}
+					pat.Plan.RouteTuple(a, row, 0, func(server int) {
+						streams[pi].SendRow(server, row)
+					})
+				}
+			}
+		}
+	})
+	// Local join per pattern; union the results.
+	for pi := range patterns {
+		localJoin(c, q, outName, fmt.Sprintf("@%d", pi), alg)
+	}
+	return &Result{
+		OutName:  outName,
+		Rounds:   c.Metrics().Rounds() - start,
+		Patterns: patterns,
+	}, nil
+}
+
+// HeavyByVar computes, centrally, the per-variable heavy-hitter sets
+// for the given threshold — a verification helper mirroring what the
+// distributed rounds of RunSkewHC compute.
+func HeavyByVar(q hypergraph.Query, rels map[string]*relation.Relation, threshold int) map[string]map[relation.Value]bool {
+	prepped := prepare(q, rels)
+	out := map[string]map[relation.Value]bool{}
+	for _, v := range q.Vars() {
+		agg := stats.Degrees{}
+		for _, a := range q.Atoms {
+			if a.HasVar(v) {
+				agg.Merge(stats.DegreesOf(prepped[a.Name], v))
+			}
+		}
+		out[v] = agg.HeavySet(threshold)
+	}
+	return out
+}

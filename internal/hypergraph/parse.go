@@ -1,0 +1,98 @@
+package hypergraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse builds a query from a Datalog-style body such as
+//
+//	R(x,y), S(y,z), T(z,x)
+//
+// Atom names and variables are identifiers (letters, digits, '_', must
+// start with a letter). Whitespace is ignored. The query name is the
+// caller's choice.
+func Parse(name, body string) (Query, error) {
+	var atoms []Atom
+	s := strings.TrimSpace(body)
+	for len(s) > 0 {
+		// Atom name up to '('.
+		open := strings.IndexByte(s, '(')
+		if open < 0 {
+			return Query{}, fmt.Errorf("hypergraph: expected '(' in %q", s)
+		}
+		atomName := strings.TrimSpace(s[:open])
+		if !isIdent(atomName) {
+			return Query{}, fmt.Errorf("hypergraph: bad atom name %q", atomName)
+		}
+		closeIdx := strings.IndexByte(s, ')')
+		if closeIdx < open {
+			return Query{}, fmt.Errorf("hypergraph: unclosed atom %q", atomName)
+		}
+		var vars []string
+		for _, v := range strings.Split(s[open+1:closeIdx], ",") {
+			v = strings.TrimSpace(v)
+			if !isIdent(v) {
+				return Query{}, fmt.Errorf("hypergraph: bad variable %q in atom %s", v, atomName)
+			}
+			vars = append(vars, v)
+		}
+		if len(vars) == 0 {
+			return Query{}, fmt.Errorf("hypergraph: atom %s has no variables", atomName)
+		}
+		atoms = append(atoms, Atom{Name: atomName, Vars: vars})
+		s = strings.TrimSpace(s[closeIdx+1:])
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return Query{}, fmt.Errorf("hypergraph: expected ',' between atoms at %q", s)
+			}
+			s = strings.TrimSpace(s[1:])
+			if len(s) == 0 {
+				return Query{}, fmt.Errorf("hypergraph: trailing comma")
+			}
+		}
+	}
+	if len(atoms) == 0 {
+		return Query{}, fmt.Errorf("hypergraph: empty query body")
+	}
+	// NewQuery panics on duplicates; convert to an error here.
+	var q Query
+	var perr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				perr = fmt.Errorf("hypergraph: %v", r)
+			}
+		}()
+		q = NewQuery(name, atoms...)
+	}()
+	return q, perr
+}
+
+// MustParse is Parse but panics on malformed input; for tests and
+// examples with literal query strings.
+func MustParse(name, body string) Query {
+	q, err := Parse(name, body)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,85 @@
+package hypergraph
+
+import "testing"
+
+func TestParseTriangle(t *testing.T) {
+	q, err := Parse("tri", "R(x,y), S(y,z), T(z,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Triangle()
+	if len(q.Atoms) != 3 {
+		t.Fatalf("atoms = %d", len(q.Atoms))
+	}
+	for i, a := range q.Atoms {
+		wa := want.Atoms[i]
+		if a.Name != wa.Name || len(a.Vars) != len(wa.Vars) {
+			t.Fatalf("atom %d = %v, want %v", i, a, wa)
+		}
+		for j := range a.Vars {
+			if a.Vars[j] != wa.Vars[j] {
+				t.Fatalf("atom %d vars = %v, want %v", i, a.Vars, wa.Vars)
+			}
+		}
+	}
+}
+
+func TestParseWhitespaceAndUnary(t *testing.T) {
+	q, err := Parse("rst", "  R( x ) ,S(x , y),  T(y)  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 3 || len(q.Atom("R").Vars) != 1 || len(q.Atom("S").Vars) != 2 {
+		t.Fatalf("parsed wrong: %v", q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"R",
+		"R(",
+		"R()",
+		"R(x,)",
+		"R(x) S(y)",  // missing comma
+		"R(x),",      // trailing comma
+		"R(x), R(y)", // duplicate atom name
+		"R(x,x)",     // repeated variable
+		"1R(x)",      // bad atom name
+		"R(9x)",      // bad variable
+		"R(x-y)",     // bad character
+	}
+	for _, body := range cases {
+		if _, err := Parse("q", body); err == nil {
+			t.Errorf("Parse(%q) should fail", body)
+		}
+	}
+}
+
+func TestParseRoundTripsNamedQueries(t *testing.T) {
+	for _, q := range []Query{Triangle(), TwoWayJoin(), RST(), Path(4), Star(3), Cycle(5)} {
+		body := ""
+		for i, a := range q.Atoms {
+			if i > 0 {
+				body += ", "
+			}
+			body += a.String()
+		}
+		got, err := Parse(q.Name, body)
+		if err != nil {
+			t.Fatalf("%s: %v (body %q)", q.Name, err, body)
+		}
+		if got.String() != q.String() {
+			t.Fatalf("round trip: %s != %s", got, q)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("q", "garbage(")
+}

@@ -1,0 +1,51 @@
+package join2
+
+import (
+	"fmt"
+	"testing"
+
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/workload"
+)
+
+// Micro-benchmarks for the two-way join operators across cluster sizes.
+
+func benchJoin(b *testing.B, run func(c *mpc.Cluster, r, s *relation.Relation)) {
+	const n = 20000
+	for _, p := range []int{8, 32} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			r := workload.Uniform("R", []string{"x", "y"}, n, n/2, 1)
+			s := workload.Uniform("S", []string{"y", "z"}, n, n/2, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := mpc.NewCluster(p, 1)
+				run(c, r, s)
+			}
+		})
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	benchJoin(b, func(c *mpc.Cluster, r, s *relation.Relation) {
+		HashJoin(c, r, s, "out", 42)
+	})
+}
+
+func BenchmarkBroadcastJoin(b *testing.B) {
+	benchJoin(b, func(c *mpc.Cluster, r, s *relation.Relation) {
+		BroadcastJoin(c, r, s, "out")
+	})
+}
+
+func BenchmarkSkewJoin(b *testing.B) {
+	benchJoin(b, func(c *mpc.Cluster, r, s *relation.Relation) {
+		SkewJoin(c, r, s, "out", 42)
+	})
+}
+
+func BenchmarkSortJoin(b *testing.B) {
+	benchJoin(b, func(c *mpc.Cluster, r, s *relation.Relation) {
+		SortJoin(c, r, s, "out", 42)
+	})
+}

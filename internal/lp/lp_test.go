@@ -1,0 +1,358 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %g, want %g (±%g)", what, got, want, tol)
+	}
+}
+
+func TestMaximizeSimple(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 (classic Dantzig).
+	p := NewMaximize([]float64{3, 5})
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 2}, LE, 12)
+	p.AddConstraint([]float64{3, 2}, LE, 18)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 36, 1e-6, "objective")
+	approx(t, sol.X[0], 2, 1e-6, "x")
+	approx(t, sol.X[1], 6, 1e-6, "y")
+}
+
+func TestMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 10, x ≥ 2  → x=8? No: cheaper to use x.
+	// Optimal: x=10,y=0? check x≥2 satisfied; obj=20.
+	p := NewMinimize([]float64{2, 3})
+	p.AddConstraint([]float64{1, 1}, GE, 10)
+	p.AddConstraint([]float64{1, 0}, GE, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 20, 1e-6, "objective")
+}
+
+func TestEquality(t *testing.T) {
+	// min x + y s.t. x + 2y = 4, x - y = 1 → x=2, y=1.
+	p := NewMinimize([]float64{1, 1})
+	p.AddConstraint([]float64{1, 2}, EQ, 4)
+	p.AddConstraint([]float64{1, -1}, EQ, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.X[0], 2, 1e-6, "x")
+	approx(t, sol.X[1], 1, 1e-6, "y")
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewMinimize([]float64{1})
+	p.AddConstraint([]float64{1}, GE, 5)
+	p.AddConstraint([]float64{1}, LE, 3)
+	if _, err := p.Solve(); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewMaximize([]float64{1})
+	p.AddConstraint([]float64{-1}, LE, 1)
+	if _, err := p.Solve(); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// x ≤ -? normalization path: -x ≤ -2 means x ≥ 2.
+	p := NewMinimize([]float64{1})
+	p.AddConstraint([]float64{-1}, LE, -2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.X[0], 2, 1e-6, "x")
+}
+
+func TestDegenerateTies(t *testing.T) {
+	// Degenerate vertex: multiple constraints meet; Bland's rule must
+	// terminate.
+	p := NewMaximize([]float64{1, 1})
+	p.AddConstraint([]float64{1, 0}, LE, 1)
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	p.AddConstraint([]float64{1, 1}, LE, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 2, 1e-6, "objective")
+}
+
+func TestTriangleEdgePackingLP(t *testing.T) {
+	// The triangle query's fractional edge packing: max uR+uS+uT with
+	// each vertex constraint uR+uT ≤ 1 (x), uR+uS ≤ 1 (y), uS+uT ≤ 1 (z).
+	// Optimum is 3/2 at u = (1/2,1/2,1/2).
+	p := NewMaximize([]float64{1, 1, 1})
+	p.AddConstraint([]float64{1, 0, 1}, LE, 1)
+	p.AddConstraint([]float64{1, 1, 0}, LE, 1)
+	p.AddConstraint([]float64{0, 1, 1}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 1.5, 1e-6, "tau*")
+}
+
+func TestTriangleEdgeCoverLP(t *testing.T) {
+	// Fractional edge cover of the triangle: min uR+uS+uT with each
+	// vertex covered ≥ 1. Optimum 3/2.
+	p := NewMinimize([]float64{1, 1, 1})
+	p.AddConstraint([]float64{1, 0, 1}, GE, 1)
+	p.AddConstraint([]float64{1, 1, 0}, GE, 1)
+	p.AddConstraint([]float64{0, 1, 1}, GE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 1.5, 1e-6, "rho*")
+}
+
+func TestConstraintArityPanics(t *testing.T) {
+	p := NewMinimize([]float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong constraint arity")
+		}
+	}()
+	p.AddConstraint([]float64{1}, LE, 1)
+}
+
+// TestRandomLPDualityGap solves random primal/dual pairs and checks
+// strong duality: max{c·x : Ax ≤ b, x ≥ 0} = min{b·y : Aᵀy ≥ c, y ≥ 0}
+// whenever both are feasible and bounded.
+func TestRandomLPDualityGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	solved := 0
+	for trial := 0; trial < 200 && solved < 50; trial++ {
+		nv := 1 + rng.Intn(4)
+		nc := 1 + rng.Intn(4)
+		c := make([]float64, nv)
+		for j := range c {
+			c[j] = float64(rng.Intn(9) + 1)
+		}
+		A := make([][]float64, nc)
+		b := make([]float64, nc)
+		for i := range A {
+			A[i] = make([]float64, nv)
+			for j := range A[i] {
+				A[i][j] = float64(rng.Intn(5))
+			}
+			b[i] = float64(rng.Intn(10) + 1)
+		}
+		primal := NewMaximize(c)
+		for i := range A {
+			primal.AddConstraint(A[i], LE, b[i])
+		}
+		psol, perr := primal.Solve()
+		dual := NewMinimize(b)
+		for j := 0; j < nv; j++ {
+			col := make([]float64, nc)
+			for i := 0; i < nc; i++ {
+				col[i] = A[i][j]
+			}
+			dual.AddConstraint(col, GE, c[j])
+		}
+		dsol, derr := dual.Solve()
+		if perr == ErrUnbounded {
+			if derr != ErrInfeasible {
+				t.Fatalf("trial %d: primal unbounded but dual err = %v", trial, derr)
+			}
+			continue
+		}
+		if perr != nil || derr != nil {
+			continue
+		}
+		if math.Abs(psol.Objective-dsol.Objective) > 1e-6*(1+math.Abs(psol.Objective)) {
+			t.Fatalf("trial %d: duality gap: primal %g, dual %g", trial, psol.Objective, dsol.Objective)
+		}
+		solved++
+	}
+	if solved < 20 {
+		t.Fatalf("too few solvable random LPs: %d", solved)
+	}
+}
+
+// TestFeasibilityOfSolution checks the returned point satisfies all
+// constraints on random problems.
+func TestFeasibilityOfSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		nv := 1 + rng.Intn(5)
+		nc := 1 + rng.Intn(5)
+		c := make([]float64, nv)
+		for j := range c {
+			c[j] = float64(rng.Intn(11) - 5)
+		}
+		p := NewMinimize(c)
+		type con struct {
+			a   []float64
+			op  Op
+			rhs float64
+		}
+		var cons []con
+		for i := 0; i < nc; i++ {
+			a := make([]float64, nv)
+			for j := range a {
+				a[j] = float64(rng.Intn(7) - 3)
+			}
+			op := Op(rng.Intn(3))
+			rhs := float64(rng.Intn(21) - 10)
+			p.AddConstraint(a, op, rhs)
+			cons = append(cons, con{a, op, rhs})
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			continue // infeasible/unbounded is fine
+		}
+		for _, x := range sol.X {
+			if x < -1e-7 {
+				t.Fatalf("trial %d: negative variable %g", trial, x)
+			}
+		}
+		for ci, con := range cons {
+			dot := 0.0
+			for j := range con.a {
+				dot += con.a[j] * sol.X[j]
+			}
+			switch con.op {
+			case LE:
+				if dot > con.rhs+1e-6 {
+					t.Fatalf("trial %d con %d: %g ≰ %g", trial, ci, dot, con.rhs)
+				}
+			case GE:
+				if dot < con.rhs-1e-6 {
+					t.Fatalf("trial %d con %d: %g ≱ %g", trial, ci, dot, con.rhs)
+				}
+			case EQ:
+				if math.Abs(dot-con.rhs) > 1e-6 {
+					t.Fatalf("trial %d con %d: %g ≠ %g", trial, ci, dot, con.rhs)
+				}
+			}
+		}
+	}
+}
+
+// Duals of the triangle edge-packing LP must be the optimal fractional
+// vertex cover (LP duality, slide 39): (1/2, 1/2, 1/2) with value 3/2.
+func TestDualsTrianglePacking(t *testing.T) {
+	p := NewMaximize([]float64{1, 1, 1})
+	p.AddConstraint([]float64{1, 0, 1}, LE, 1) // vertex x
+	p.AddConstraint([]float64{1, 1, 0}, LE, 1) // vertex y
+	p.AddConstraint([]float64{0, 1, 1}, LE, 1) // vertex z
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i, d := range sol.Duals {
+		approx(t, d, 0.5, 1e-6, "dual "+string(rune('x'+i)))
+		sum += d
+	}
+	approx(t, sum, sol.Objective, 1e-6, "strong duality")
+}
+
+// Strong duality via Duals on random max/≤ problems: Σ y_i b_i must
+// equal the primal optimum, and every dual must be ≥ 0.
+func TestDualsStrongDualityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	checked := 0
+	for trial := 0; trial < 200 && checked < 40; trial++ {
+		nv := 1 + rng.Intn(4)
+		nc := 1 + rng.Intn(4)
+		c := make([]float64, nv)
+		for j := range c {
+			c[j] = float64(rng.Intn(9) + 1)
+		}
+		p := NewMaximize(c)
+		b := make([]float64, nc)
+		for i := 0; i < nc; i++ {
+			a := make([]float64, nv)
+			nz := false
+			for j := range a {
+				a[j] = float64(rng.Intn(5))
+				if a[j] != 0 {
+					nz = true
+				}
+			}
+			if !nz {
+				a[0] = 1
+			}
+			b[i] = float64(rng.Intn(10) + 1)
+			p.AddConstraint(a, LE, b[i])
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			continue
+		}
+		dot := 0.0
+		for i, d := range sol.Duals {
+			if d < -1e-7 {
+				t.Fatalf("trial %d: negative dual %g", trial, d)
+			}
+			dot += d * b[i]
+		}
+		if math.Abs(dot-sol.Objective) > 1e-6*(1+math.Abs(sol.Objective)) {
+			t.Fatalf("trial %d: Σy·b = %g != objective %g", trial, dot, sol.Objective)
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("too few dual checks: %d", checked)
+	}
+}
+
+// Minimize/GE duals: min b·y dual of the cover LP should certify ρ*.
+func TestDualsMinimizeGE(t *testing.T) {
+	// Triangle fractional edge cover: min Σw, each vertex covered.
+	p := NewMinimize([]float64{1, 1, 1})
+	p.AddConstraint([]float64{1, 0, 1}, GE, 1)
+	p.AddConstraint([]float64{1, 1, 0}, GE, 1)
+	p.AddConstraint([]float64{0, 1, 1}, GE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := 0.0
+	for _, d := range sol.Duals {
+		if d < -1e-7 {
+			t.Fatalf("negative dual %g", d)
+		}
+		dot += d // rhs all 1
+	}
+	approx(t, dot, sol.Objective, 1e-6, "cover strong duality")
+}
+
+// Duals of equality constraints are explicitly NaN.
+func TestDualsEqualityNaN(t *testing.T) {
+	p := NewMinimize([]float64{1, 1})
+	p.AddConstraint([]float64{1, 2}, EQ, 4)
+	p.AddConstraint([]float64{1, 0}, LE, 10)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(sol.Duals[0]) {
+		t.Fatalf("EQ dual = %g, want NaN", sol.Duals[0])
+	}
+	if math.IsNaN(sol.Duals[1]) {
+		t.Fatal("LE dual should be defined")
+	}
+}

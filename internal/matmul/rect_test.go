@@ -1,0 +1,124 @@
+package matmul
+
+import (
+	"testing"
+
+	"mpcquery/internal/mpc"
+)
+
+func TestRectBasics(t *testing.T) {
+	m := NewRect(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 || m.At(0, 0) != 0 {
+		t.Fatal("At/Set broken")
+	}
+	if m.NNZ() != 1 {
+		t.Fatalf("nnz = %d", m.NNZ())
+	}
+	if m.EqualRect(NewRect(2, 3)) || !m.EqualRect(m) {
+		t.Fatal("EqualRect broken")
+	}
+	mustPanic(t, "bad size", func() { NewRect(0, 3) })
+}
+
+func TestMultiplyRectHandChecked(t *testing.T) {
+	// (2×3)·(3×2).
+	a := NewRect(2, 3)
+	vals := [][]int64{{1, 2, 3}, {4, 5, 6}}
+	for i := range vals {
+		for j, v := range vals[i] {
+			a.Set(i, j, v)
+		}
+	}
+	b := NewRect(3, 2)
+	bv := [][]int64{{7, 8}, {9, 10}, {11, 12}}
+	for i := range bv {
+		for j, v := range bv[i] {
+			b.Set(i, j, v)
+		}
+	}
+	c := MultiplyRect(a, b)
+	want := [][]int64{{58, 64}, {139, 154}}
+	for i := range want {
+		for j, v := range want[i] {
+			if c.At(i, j) != v {
+				t.Fatalf("C[%d][%d] = %d, want %d", i, j, c.At(i, j), v)
+			}
+		}
+	}
+	mustPanic(t, "dim mismatch", func() { MultiplyRect(a, a) })
+}
+
+func TestSparseSQLMultiplyRectangular(t *testing.T) {
+	a := RandomRect(20, 35, 6, 1)
+	b := RandomRect(35, 12, 6, 2)
+	want := MultiplyRect(a, b)
+	c := mpc.NewCluster(8, 1)
+	got, rounds, err := SparseSQLMultiply(c, a, b, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", rounds)
+	}
+	if !got.EqualRect(want) {
+		t.Fatal("rectangular product wrong")
+	}
+}
+
+func TestSparseSQLMultiplySparse(t *testing.T) {
+	a := RandomSparseRect(60, 60, 90, 9, 3)
+	b := RandomSparseRect(60, 60, 90, 9, 4)
+	want := MultiplyRect(a, b)
+	c := mpc.NewCluster(8, 1)
+	got, _, err := SparseSQLMultiply(c, a, b, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualRect(want) {
+		t.Fatal("sparse product wrong")
+	}
+}
+
+func TestSparseCommScalesWithNNZ(t *testing.T) {
+	// Communication proportional to non-zeros: a 10× denser matrix
+	// should communicate roughly 10× more (input side; partial products
+	// grow quadratically in density).
+	const n = 80
+	mkRun := func(nnz int) int64 {
+		a := RandomSparseRect(n, n, nnz, 9, 5)
+		b := RandomSparseRect(n, n, nnz, 9, 6)
+		c := mpc.NewCluster(8, 1)
+		if _, _, err := SparseSQLMultiply(c, a, b, 42); err != nil {
+			t.Fatal(err)
+		}
+		return c.Metrics().TotalComm()
+	}
+	sparse := mkRun(64)
+	dense := mkRun(640)
+	if dense < 5*sparse {
+		t.Fatalf("communication should grow with nnz: sparse %d, dense %d", sparse, dense)
+	}
+	// And both are far below the dense-matrix element count n² = 6400
+	// per matrix when nnz is small.
+	if sparse > 2*int64(64+64+64*64/10) {
+		t.Fatalf("sparse comm %d unexpectedly large", sparse)
+	}
+}
+
+func TestSparseSQLMultiplyDimMismatch(t *testing.T) {
+	a := RandomRect(5, 6, 3, 1)
+	b := RandomRect(5, 6, 3, 2)
+	c := mpc.NewCluster(2, 1)
+	if _, _, err := SparseSQLMultiply(c, a, b, 1); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestRandomSparseRectNNZ(t *testing.T) {
+	m := RandomSparseRect(10, 10, 17, 5, 7)
+	if m.NNZ() != 17 {
+		t.Fatalf("nnz = %d, want 17", m.NNZ())
+	}
+	mustPanic(t, "too many nnz", func() { RandomSparseRect(2, 2, 5, 3, 1) })
+}

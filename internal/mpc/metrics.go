@@ -1,0 +1,156 @@
+package mpc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RoundStat records the communication received by each server in one
+// round.
+type RoundStat struct {
+	Name      string
+	Recv      []int64 // tuples received per server
+	RecvWords []int64 // values (words) received per server
+}
+
+// MaxRecv returns the maximum tuples received by any server this round.
+func (r *RoundStat) MaxRecv() int64 {
+	var m int64
+	for _, v := range r.Recv {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// TotalRecv returns the total tuples received this round.
+func (r *RoundStat) TotalRecv() int64 {
+	var t int64
+	for _, v := range r.Recv {
+		t += v
+	}
+	return t
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of per-server received
+// tuples this round.
+func (r *RoundStat) Quantile(q float64) int64 {
+	if len(r.Recv) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), r.Recv...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Imbalance returns max/mean of per-server received tuples — 1.0 is
+// perfect balance; hash-partition skew shows up directly here. Returns
+// 0 for an empty round.
+func (r *RoundStat) Imbalance() float64 {
+	total := r.TotalRecv()
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(r.Recv))
+	return float64(r.MaxRecv()) / mean
+}
+
+// Metrics accumulates per-round communication statistics for a cluster.
+// It realizes the tutorial's cost model: L = MaxLoad, r = Rounds,
+// C = TotalComm (slide 12 and slide 107's C = p·r·L accounting).
+type Metrics struct {
+	p     int
+	stats []RoundStat
+}
+
+// NewMetrics creates empty metrics for a p-server cluster.
+func NewMetrics(p int) *Metrics { return &Metrics{p: p} }
+
+func (m *Metrics) record(name string, recv, recvWords []int64) {
+	m.stats = append(m.stats, RoundStat{Name: name, Recv: recv, RecvWords: recvWords})
+}
+
+// Rounds returns r, the number of communication rounds executed.
+func (m *Metrics) Rounds() int { return len(m.stats) }
+
+// MaxLoad returns L: the maximum number of tuples received by any
+// server in any single round.
+func (m *Metrics) MaxLoad() int64 {
+	var l int64
+	for i := range m.stats {
+		if v := m.stats[i].MaxRecv(); v > l {
+			l = v
+		}
+	}
+	return l
+}
+
+// MaxLoadWords is MaxLoad measured in words (attribute values).
+func (m *Metrics) MaxLoadWords() int64 {
+	var l int64
+	for i := range m.stats {
+		for _, v := range m.stats[i].RecvWords {
+			if v > l {
+				l = v
+			}
+		}
+	}
+	return l
+}
+
+// TotalComm returns C: the total number of tuples communicated across
+// all rounds and servers.
+func (m *Metrics) TotalComm() int64 {
+	var t int64
+	for i := range m.stats {
+		t += m.stats[i].TotalRecv()
+	}
+	return t
+}
+
+// RoundStats returns the per-round statistics (read-only).
+func (m *Metrics) RoundStats() []RoundStat { return m.stats }
+
+// MaxLoadOfRound returns the max per-server load of the named round
+// (the first round with that name), or -1 if no such round ran.
+func (m *Metrics) MaxLoadOfRound(name string) int64 {
+	for i := range m.stats {
+		if m.stats[i].Name == name {
+			return m.stats[i].MaxRecv()
+		}
+	}
+	return -1
+}
+
+// String renders a compact per-round report including balance figures.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds=%d L=%d C=%d\n", m.Rounds(), m.MaxLoad(), m.TotalComm())
+	for i := range m.stats {
+		st := &m.stats[i]
+		fmt.Fprintf(&b, "  round %2d %-28s maxRecv=%-10d p50=%-10d total=%-10d imbalance=%.2f\n",
+			i+1, st.Name, st.MaxRecv(), st.Quantile(0.5), st.TotalRecv(), st.Imbalance())
+	}
+	return b.String()
+}
+
+// WorstImbalance returns the highest max/mean load ratio across rounds
+// (0 if no round communicated) together with that round's name.
+func (m *Metrics) WorstImbalance() (float64, string) {
+	worst, name := 0.0, ""
+	for i := range m.stats {
+		if im := m.stats[i].Imbalance(); im > worst {
+			worst, name = im, m.stats[i].Name
+		}
+	}
+	return worst, name
+}

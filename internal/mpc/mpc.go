@@ -1,0 +1,355 @@
+// Package mpc implements the Massively Parallel Communication model of
+// the tutorial (slides 5–20) as a deterministic in-process simulator: a
+// shared-nothing cluster of p servers that computes in synchronous
+// rounds, where each round every server runs local computation and then
+// exchanges messages with any other server. The simulator's entire
+// purpose is to *meter* the model's two cost parameters —
+//
+//	L: the maximum number of tuples received by any server in any round
+//	r: the number of communication rounds
+//
+// plus the total communication C — because every claim in the tutorial
+// is a statement about (L, r, C). Each server's per-round computation
+// runs on its own goroutine, so the simulation is also genuinely
+// parallel.
+package mpc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"mpcquery/internal/relation"
+)
+
+// Cluster is a simulated shared-nothing cluster of p servers.
+type Cluster struct {
+	p       int
+	seed    int64
+	servers []*Server
+	metrics *Metrics
+}
+
+// NewCluster creates a cluster of p servers. The seed drives all
+// server-local randomness, making every simulation reproducible.
+func NewCluster(p int, seed int64) *Cluster {
+	if p < 1 {
+		panic(fmt.Sprintf("mpc: cluster needs p ≥ 1, got %d", p))
+	}
+	c := &Cluster{p: p, seed: seed, metrics: NewMetrics(p)}
+	c.servers = make([]*Server, p)
+	for i := range c.servers {
+		c.servers[i] = &Server{
+			id:   i,
+			p:    p,
+			rels: map[string]*relation.Relation{},
+			rng:  rand.New(rand.NewSource(seed ^ int64(uint64(i+1)*0x9e3779b97f4a7c15>>1))),
+		}
+	}
+	return c
+}
+
+// P returns the number of servers.
+func (c *Cluster) P() int { return c.p }
+
+// Server returns server i.
+func (c *Cluster) Server(i int) *Server { return c.servers[i] }
+
+// Metrics returns the cluster's accumulated cost metrics.
+func (c *Cluster) Metrics() *Metrics { return c.metrics }
+
+// ResetMetrics clears accumulated metrics (e.g. to exclude setup).
+func (c *Cluster) ResetMetrics() { c.metrics = NewMetrics(c.p) }
+
+// Server is one node of the simulated cluster. A server owns a set of
+// named local relation fragments; between rounds, algorithms read and
+// replace them freely.
+type Server struct {
+	id   int
+	p    int
+	rels map[string]*relation.Relation
+	rng  *rand.Rand
+}
+
+// ID returns the server's index in [0, p).
+func (s *Server) ID() int { return s.id }
+
+// P returns the cluster size.
+func (s *Server) P() int { return s.p }
+
+// Rng returns the server's deterministic random source. It must only be
+// used from within this server's compute function.
+func (s *Server) Rng() *rand.Rand { return s.rng }
+
+// Rel returns the named local relation, or nil if the server holds none.
+func (s *Server) Rel(name string) *relation.Relation { return s.rels[name] }
+
+// RelOrEmpty returns the named local relation, or a fresh empty relation
+// with the given schema if the server holds none.
+func (s *Server) RelOrEmpty(name string, attrs ...string) *relation.Relation {
+	if r := s.rels[name]; r != nil {
+		return r
+	}
+	return relation.New(name, attrs...)
+}
+
+// Put stores rel under its name, replacing any previous fragment.
+func (s *Server) Put(rel *relation.Relation) { s.rels[rel.Name()] = rel }
+
+// Delete removes the named local relation.
+func (s *Server) Delete(name string) { delete(s.rels, name) }
+
+// RelNames returns the names of the server's local relations, sorted.
+func (s *Server) RelNames() []string {
+	names := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// stream accumulates tuples sent to each destination under one relation
+// name within a round.
+type stream struct {
+	name   string
+	attrs  []string
+	perDst [][]relation.Value // perDst[dst] = flat rows
+}
+
+// Out buffers the messages one server emits during a round. It is not
+// safe for concurrent use; each server gets its own.
+type Out struct {
+	p       int
+	streams map[string]*stream
+	order   []string // stream creation order for deterministic delivery
+}
+
+// Stream is a typed channel for sending tuples of one relation to other
+// servers within the current round.
+type Stream struct {
+	out *Out
+	st  *stream
+}
+
+// Open declares (or reopens) an output relation with the given schema.
+// All tuples sent on the stream are delivered into a relation of that
+// name on each destination server when the round ends.
+func (o *Out) Open(name string, attrs ...string) *Stream {
+	if st, ok := o.streams[name]; ok {
+		if len(st.attrs) != len(attrs) {
+			panic(fmt.Sprintf("mpc: stream %s reopened with different arity", name))
+		}
+		return &Stream{out: o, st: st}
+	}
+	st := &stream{name: name, attrs: append([]string(nil), attrs...), perDst: make([][]relation.Value, o.p)}
+	o.streams[name] = st
+	o.order = append(o.order, name)
+	return &Stream{out: o, st: st}
+}
+
+// Send routes one tuple to server dst.
+func (s *Stream) Send(dst int, vals ...relation.Value) {
+	if dst < 0 || dst >= s.out.p {
+		panic(fmt.Sprintf("mpc: send to server %d of %d", dst, s.out.p))
+	}
+	if len(vals) != len(s.st.attrs) {
+		panic(fmt.Sprintf("mpc: stream %s send arity %d, want %d", s.st.name, len(vals), len(s.st.attrs)))
+	}
+	s.st.perDst[dst] = append(s.st.perDst[dst], vals...)
+}
+
+// SendRow routes one tuple (as a slice) to server dst.
+func (s *Stream) SendRow(dst int, row []relation.Value) { s.Send(dst, row...) }
+
+// Broadcast routes one tuple to every server. Each copy is metered at
+// its receiver: broadcasting is p times as expensive as a single send,
+// exactly as in the model.
+func (s *Stream) Broadcast(vals ...relation.Value) {
+	for dst := 0; dst < s.out.p; dst++ {
+		s.Send(dst, vals...)
+	}
+}
+
+// Round executes one MPC round: every server runs compute on its own
+// goroutine, then all emitted messages are delivered and metered. The
+// name labels the round in metric reports. Messages are delivered in a
+// canonical order (by source server, then stream creation order, then
+// send order) so simulations are bit-for-bit reproducible.
+func (c *Cluster) Round(name string, compute func(s *Server, out *Out)) {
+	outs := make([]*Out, c.p)
+	var wg sync.WaitGroup
+	panics := make([]any, c.p)
+	for i := 0; i < c.p; i++ {
+		outs[i] = &Out{p: c.p, streams: map[string]*stream{}}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+				}
+			}()
+			compute(c.servers[i], outs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpc: round %q: server %d panicked: %v", name, i, p))
+		}
+	}
+	c.deliver(name, outs)
+}
+
+// deliver moves round outputs into destination servers and records
+// load metrics.
+func (c *Cluster) deliver(name string, outs []*Out) {
+	recv := make([]int64, c.p)
+	recvWords := make([]int64, c.p)
+	for src := 0; src < c.p; src++ {
+		out := outs[src]
+		for _, stName := range out.order {
+			st := out.streams[stName]
+			arity := len(st.attrs)
+			for dst := 0; dst < c.p; dst++ {
+				flat := st.perDst[dst]
+				if len(flat) == 0 {
+					continue
+				}
+				tuples := int64(len(flat) / arity)
+				recv[dst] += tuples
+				recvWords[dst] += int64(len(flat))
+				dstRel := c.servers[dst].rels[st.name]
+				if dstRel == nil {
+					dstRel = relation.New(st.name, st.attrs...)
+					c.servers[dst].rels[st.name] = dstRel
+				} else if dstRel.Arity() != arity {
+					panic(fmt.Sprintf("mpc: round %q delivers %s with arity %d into existing arity %d",
+						name, st.name, arity, dstRel.Arity()))
+				}
+				for off := 0; off < len(flat); off += arity {
+					dstRel.AppendRow(flat[off : off+arity])
+				}
+			}
+		}
+	}
+	c.metrics.record(name, recv, recvWords)
+}
+
+// LocalStep runs compute on every server (in parallel) without any
+// communication; it does not count as a round. Use it for purely local
+// phases such as final local joins.
+func (c *Cluster) LocalStep(compute func(s *Server)) {
+	var wg sync.WaitGroup
+	panics := make([]any, c.p)
+	for i := 0; i < c.p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+				}
+			}()
+			compute(c.servers[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpc: local step: server %d panicked: %v", i, p))
+		}
+	}
+}
+
+// ScatterRoundRobin distributes rel's tuples across servers round-robin,
+// modelling the model's arbitrary initial placement (O(IN/p) per
+// server). Initial placement is free: it is not metered.
+func (c *Cluster) ScatterRoundRobin(rel *relation.Relation) {
+	frags := make([]*relation.Relation, c.p)
+	for i := range frags {
+		frags[i] = relation.New(rel.Name(), rel.Attrs()...)
+	}
+	n := rel.Len()
+	for i := 0; i < n; i++ {
+		frags[i%c.p].AppendRow(rel.Row(i))
+	}
+	for i, f := range frags {
+		c.servers[i].Put(f)
+	}
+}
+
+// ScatterByHash distributes rel's tuples by hashing the named attributes
+// with the given seed. Like all scatters, it is free (initial placement).
+func (c *Cluster) ScatterByHash(rel *relation.Relation, attrs []string, seed uint64) {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		cols[i] = rel.MustCol(a)
+	}
+	frags := make([]*relation.Relation, c.p)
+	for i := range frags {
+		frags[i] = relation.New(rel.Name(), rel.Attrs()...)
+	}
+	n := rel.Len()
+	for i := 0; i < n; i++ {
+		row := rel.Row(i)
+		dst := relation.Bucket(relation.HashRow(row, cols, seed), c.p)
+		frags[dst].AppendRow(row)
+	}
+	for i, f := range frags {
+		c.servers[i].Put(f)
+	}
+}
+
+// Gather collects the union of the named relation's fragments from all
+// servers into one relation. It is a driver-side verification helper
+// and is not metered.
+func (c *Cluster) Gather(name string) *relation.Relation {
+	var out *relation.Relation
+	for _, s := range c.servers {
+		f := s.rels[name]
+		if f == nil {
+			continue
+		}
+		if out == nil {
+			out = relation.New(name, f.Attrs()...)
+		}
+		out.AppendAll(f)
+	}
+	if out == nil {
+		panic(fmt.Sprintf("mpc: gather: no server holds relation %q", name))
+	}
+	return out
+}
+
+// DeleteAll removes the named relation from every server.
+func (c *Cluster) DeleteAll(name string) {
+	for _, s := range c.servers {
+		s.Delete(name)
+	}
+}
+
+// TotalLen sums the sizes of the named relation fragment across servers
+// (0 if absent everywhere).
+func (c *Cluster) TotalLen(name string) int {
+	total := 0
+	for _, s := range c.servers {
+		if f := s.rels[name]; f != nil {
+			total += f.Len()
+		}
+	}
+	return total
+}
+
+// MaxFragLen returns the largest per-server fragment size of name.
+func (c *Cluster) MaxFragLen(name string) int {
+	m := 0
+	for _, s := range c.servers {
+		if f := s.rels[name]; f != nil && f.Len() > m {
+			m = f.Len()
+		}
+	}
+	return m
+}

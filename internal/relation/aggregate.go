@@ -1,0 +1,103 @@
+package relation
+
+import "sort"
+
+// Aggregation operators. Grouping is all the tutorial needs: the SQL
+// formulation of matrix multiplication (slide 108) and the grouped-join
+// example (slide 52) are GROUP BY ... SUM queries.
+
+// AggFunc identifies an aggregate.
+type AggFunc int
+
+// Supported aggregates.
+const (
+	Sum AggFunc = iota
+	Count
+	Min
+	Max
+)
+
+// GroupBy groups r by the groupAttrs and aggregates aggAttr with fn.
+// The output schema is groupAttrs followed by outAttr. For Count,
+// aggAttr may be empty. Output rows are sorted by group key.
+func GroupBy(name string, r *Relation, groupAttrs []string, fn AggFunc, aggAttr, outAttr string) *Relation {
+	gcols := make([]int, len(groupAttrs))
+	for i, a := range groupAttrs {
+		gcols[i] = r.MustCol(a)
+	}
+	acol := -1
+	if fn != Count {
+		acol = r.MustCol(aggAttr)
+	}
+	type accum struct {
+		key []Value
+		agg Value
+		n   int
+	}
+	groups := make(map[string]*accum)
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		row := r.Row(i)
+		k := EncodeKey(row, gcols)
+		g, ok := groups[k]
+		if !ok {
+			key := make([]Value, len(gcols))
+			for j, c := range gcols {
+				key[j] = row[c]
+			}
+			g = &accum{key: key}
+			switch fn {
+			case Min:
+				g.agg = row[acol]
+			case Max:
+				g.agg = row[acol]
+			}
+			groups[k] = g
+		}
+		g.n++
+		switch fn {
+		case Sum:
+			g.agg += row[acol]
+		case Min:
+			if row[acol] < g.agg {
+				g.agg = row[acol]
+			}
+		case Max:
+			if row[acol] > g.agg {
+				g.agg = row[acol]
+			}
+		}
+	}
+	out := New(name, append(append([]string(nil), groupAttrs...), outAttr)...)
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := groups[k]
+		val := g.agg
+		if fn == Count {
+			val = Value(g.n)
+		}
+		out.data = append(out.data, g.key...)
+		out.data = append(out.data, val)
+	}
+	return out
+}
+
+// Distinct returns the distinct values of attr, sorted ascending.
+func Distinct(r *Relation, attr string) []Value {
+	c := r.MustCol(attr)
+	seen := make(map[Value]bool)
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		seen[r.Row(i)[c]] = true
+	}
+	vals := make([]Value, 0, len(seen))
+	for v := range seen {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	return vals
+}

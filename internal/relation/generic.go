@@ -1,0 +1,151 @@
+package relation
+
+import "sort"
+
+// GenericJoin is a worst-case-optimal multiway join in the style of
+// NPRR / Leapfrog Triejoin: it eliminates one variable at a time,
+// intersecting the candidate values from every relation that contains
+// the variable. On cyclic queries such as the triangle it avoids the
+// intermediate-result blowup of binary join plans (slide 63), which is
+// why the HyperCube local evaluation uses it by default.
+//
+// varOrder must list every attribute appearing in the inputs exactly
+// once; the output schema is varOrder.
+func GenericJoin(name string, varOrder []string, rels ...*Relation) *Relation {
+	if len(rels) == 0 {
+		panic("relation: GenericJoin of nothing")
+	}
+	seen := map[string]bool{}
+	for _, v := range varOrder {
+		if seen[v] {
+			panic("relation: GenericJoin duplicate variable " + v)
+		}
+		seen[v] = true
+	}
+	for _, r := range rels {
+		for _, a := range r.Attrs() {
+			if !seen[a] {
+				panic("relation: GenericJoin variable order misses " + a)
+			}
+		}
+	}
+	out := New(name, varOrder...)
+	st := &gjState{
+		out:      out,
+		varOrder: varOrder,
+		rels:     rels,
+		state:    make([][]int32, len(rels)),
+		version:  make([]int, len(rels)),
+		binding:  make([]Value, len(varOrder)),
+		cache:    map[gjCacheKey]map[Value][]int32{},
+	}
+	for i, r := range rels {
+		rows := make([]int32, r.Len())
+		for j := range rows {
+			rows[j] = int32(j)
+		}
+		st.state[i] = rows
+	}
+	st.recurse(0)
+	return out
+}
+
+// gjState carries the recursion state. The groups cache is the key
+// performance device: a relation not containing the variable bound at
+// depth d keeps the same surviving-row set across all of d's candidate
+// values, so its grouping at depth d+1 is computed once, not once per
+// candidate. Cache keys combine (relation, depth, state version), where
+// the version counter ticks on every state replacement.
+type gjState struct {
+	out      *Relation
+	varOrder []string
+	rels     []*Relation
+	state    [][]int32
+	version  []int
+	nextVer  int
+	binding  []Value
+	cache    map[gjCacheKey]map[Value][]int32
+}
+
+type gjCacheKey struct {
+	ri, depth, version int
+}
+
+func (s *gjState) recurse(depth int) {
+	if depth == len(s.varOrder) {
+		s.out.data = append(s.out.data, s.binding...)
+		return
+	}
+	v := s.varOrder[depth]
+	// Relations containing v, each with its grouping of surviving rows
+	// by v's value.
+	type part struct {
+		ri     int
+		groups map[Value][]int32
+	}
+	var parts []part
+	for i, r := range s.rels {
+		c := r.Col(v)
+		if c < 0 {
+			continue
+		}
+		key := gjCacheKey{ri: i, depth: depth, version: s.version[i]}
+		g, ok := s.cache[key]
+		if !ok {
+			g = make(map[Value][]int32)
+			for _, row := range s.state[i] {
+				val := r.Row(int(row))[c]
+				g[val] = append(g[val], row)
+			}
+			s.cache[key] = g
+		}
+		parts = append(parts, part{ri: i, groups: g})
+	}
+	if len(parts) == 0 {
+		// Variable not constrained by any remaining relation; this can
+		// only happen if the query is disconnected from the inputs —
+		// treat as no bindings (full CQs over the inputs never hit this).
+		return
+	}
+	// Intersect candidate values, iterating over the smallest group set.
+	small := 0
+	for i := range parts {
+		if len(parts[i].groups) < len(parts[small].groups) {
+			small = i
+		}
+	}
+	cands := make([]Value, 0, len(parts[small].groups))
+	for val := range parts[small].groups {
+		ok := true
+		for i := range parts {
+			if i == small {
+				continue
+			}
+			if _, hit := parts[i].groups[val]; !hit {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cands = append(cands, val)
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a] < cands[b] })
+	savedState := make([][]int32, len(parts))
+	savedVer := make([]int, len(parts))
+	for _, val := range cands {
+		s.binding[depth] = val
+		for i, p := range parts {
+			savedState[i] = s.state[p.ri]
+			savedVer[i] = s.version[p.ri]
+			s.state[p.ri] = p.groups[val]
+			s.nextVer++
+			s.version[p.ri] = s.nextVer
+		}
+		s.recurse(depth + 1)
+		for i, p := range parts {
+			s.state[p.ri] = savedState[i]
+			s.version[p.ri] = savedVer[i]
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenericJoinTriangle(t *testing.T) {
+	// Triangle 1-2-3 plus a dangling edge.
+	edges := [][]Value{{1, 2}, {2, 3}, {3, 1}, {1, 4}}
+	r := FromRows("R", []string{"x", "y"}, edges)
+	s := FromRows("S", []string{"y", "z"}, edges)
+	u := FromRows("T", []string{"z", "x"}, edges)
+	got := GenericJoin("Tri", []string{"x", "y", "z"}, r, s, u)
+	want := MultiJoin("Tri", r, s, u).Project("Tri", "x", "y", "z")
+	if !got.EqualAsSets(want) {
+		t.Fatalf("generic join = %v, want %v", got, want)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("triangle count = %d, want 3 rotations", got.Len())
+	}
+}
+
+func TestGenericJoinMatchesBinaryPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		dom := 2 + rng.Intn(6)
+		r := randRel(rng, "R", []string{"x", "y"}, rng.Intn(30), dom)
+		s := randRel(rng, "S", []string{"y", "z"}, rng.Intn(30), dom)
+		u := randRel(rng, "T", []string{"z", "x"}, rng.Intn(30), dom)
+		r.Dedup()
+		s.Dedup()
+		u.Dedup()
+		got := GenericJoin("J", []string{"x", "y", "z"}, r, s, u)
+		want := MultiJoin("J", r, s, u).Project("J", "x", "y", "z")
+		want.Dedup()
+		if !got.EqualAsSets(want) {
+			t.Fatalf("trial %d: generic join disagrees with binary plan", trial)
+		}
+	}
+}
+
+func TestGenericJoinAcyclicChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := randRel(rng, "R", []string{"a", "b"}, 40, 6)
+	s := randRel(rng, "S", []string{"b", "c"}, 40, 6)
+	u := randRel(rng, "U", []string{"c", "d"}, 40, 6)
+	r.Dedup()
+	s.Dedup()
+	u.Dedup()
+	got := GenericJoin("J", []string{"a", "b", "c", "d"}, r, s, u)
+	want := MultiJoin("J", r, s, u).Project("J", "a", "b", "c", "d")
+	want.Dedup()
+	if !got.EqualAsSets(want) {
+		t.Fatalf("generic join disagrees on chain query")
+	}
+}
+
+func TestGenericJoinSingleRelation(t *testing.T) {
+	r := FromRows("R", []string{"x", "y"}, [][]Value{{1, 2}, {3, 4}})
+	got := GenericJoin("J", []string{"y", "x"}, r)
+	if got.Len() != 2 || got.Col("y") != 0 {
+		t.Fatalf("single-relation generic join wrong: %v", got)
+	}
+	// Output must contain (2,1) and (4,3) under schema (y,x).
+	want := FromRows("W", []string{"y", "x"}, [][]Value{{2, 1}, {4, 3}})
+	if !got.EqualAsSets(want) {
+		t.Fatalf("values wrong: %v", got)
+	}
+}
+
+func TestGenericJoinPanics(t *testing.T) {
+	r := FromRows("R", []string{"x", "y"}, [][]Value{{1, 2}})
+	mustPanic(t, "dup var", func() { GenericJoin("J", []string{"x", "x"}, r) })
+	mustPanic(t, "missing var", func() { GenericJoin("J", []string{"x"}, r) })
+	mustPanic(t, "no rels", func() { GenericJoin("J", []string{"x"}) })
+}
+
+func TestGenericJoinEmptyInput(t *testing.T) {
+	r := New("R", "x", "y")
+	s := FromRows("S", []string{"y", "z"}, [][]Value{{1, 2}})
+	got := GenericJoin("J", []string{"x", "y", "z"}, r, s)
+	if got.Len() != 0 {
+		t.Fatalf("join with empty input should be empty, got %d", got.Len())
+	}
+}

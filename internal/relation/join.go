@@ -1,0 +1,277 @@
+package relation
+
+import "sort"
+
+// Local (single-server) join algorithms. The tutorial stresses that the
+// choice of local join algorithm is independent of the parallel
+// algorithm (slide 32); every parallel operator in this repository takes
+// whatever arrives at a server and applies one of these.
+
+// HashJoin computes the natural join of r and s using a hash index on
+// the smaller input. The output schema is r's attributes followed by s's
+// non-shared attributes. With no shared attributes it degenerates to the
+// Cartesian product.
+func HashJoin(name string, r, s *Relation) *Relation {
+	shared := SharedAttrs(r, s)
+	out := New(name, joinSchema(r, s)...)
+	if len(shared) == 0 {
+		return crossProduct(out, r, s)
+	}
+	// Build on the smaller side.
+	build, probe := r, s
+	if s.Len() < r.Len() {
+		build, probe = s, r
+	}
+	ix := BuildIndex(build, shared)
+	probeCols := make([]int, len(shared))
+	for i, a := range shared {
+		probeCols[i] = probe.MustCol(a)
+	}
+	emit := makeEmitter(out, r, s)
+	n := probe.Len()
+	for i := 0; i < n; i++ {
+		row := probe.Row(i)
+		for _, j := range ix.Lookup(row, probeCols) {
+			if build == r {
+				emit(build.Row(int(j)), row)
+			} else {
+				emit(row, build.Row(int(j)))
+			}
+		}
+	}
+	return out
+}
+
+// makeEmitter returns a function appending the natural-join combination
+// of a row of r and a row of s to out.
+func makeEmitter(out, r, s *Relation) func(rrow, srow []Value) {
+	extra := make([]int, 0, s.Arity())
+	for i, a := range s.Attrs() {
+		if r.Col(a) < 0 {
+			extra = append(extra, i)
+		}
+	}
+	return func(rrow, srow []Value) {
+		out.data = append(out.data, rrow...)
+		for _, c := range extra {
+			out.data = append(out.data, srow[c])
+		}
+	}
+}
+
+func crossProduct(out, r, s *Relation) *Relation {
+	emit := makeEmitter(out, r, s)
+	nr, ns := r.Len(), s.Len()
+	for i := 0; i < nr; i++ {
+		ri := r.Row(i)
+		for j := 0; j < ns; j++ {
+			emit(ri, s.Row(j))
+		}
+	}
+	return out
+}
+
+// CrossProduct computes the Cartesian product of r and s. Shared
+// attribute names are not allowed (rename first).
+func CrossProduct(name string, r, s *Relation) *Relation {
+	if len(SharedAttrs(r, s)) != 0 {
+		panic("relation: CrossProduct with shared attributes; use HashJoin")
+	}
+	return crossProduct(New(name, joinSchema(r, s)...), r, s)
+}
+
+// SortMergeJoin computes the natural join by sorting both inputs on the
+// shared attributes and merging. Semantics match HashJoin; it exists so
+// tests can cross-validate the two implementations and so the parallel
+// sort join has a local counterpart.
+func SortMergeJoin(name string, r, s *Relation) *Relation {
+	shared := SharedAttrs(r, s)
+	out := New(name, joinSchema(r, s)...)
+	if len(shared) == 0 {
+		return crossProduct(out, r, s)
+	}
+	rs, ss := r.Clone(), s.Clone()
+	rs.SortBy(shared...)
+	ss.SortBy(shared...)
+	rc := make([]int, len(shared))
+	sc := make([]int, len(shared))
+	for i, a := range shared {
+		rc[i] = rs.MustCol(a)
+		sc[i] = ss.MustCol(a)
+	}
+	cmp := func(a, b []Value) int {
+		for i := range shared {
+			if a[rc[i]] != b[sc[i]] {
+				if a[rc[i]] < b[sc[i]] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	emit := makeEmitter(out, r, s)
+	i, j := 0, 0
+	nr, ns := rs.Len(), ss.Len()
+	for i < nr && j < ns {
+		c := cmp(rs.Row(i), ss.Row(j))
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// Find the run of equal keys on both sides.
+			i2 := i + 1
+			for i2 < nr && cmp(rs.Row(i2), ss.Row(j)) == 0 {
+				i2++
+			}
+			j2 := j + 1
+			for j2 < ns && cmp(rs.Row(i), ss.Row(j2)) == 0 {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					emit(rs.Row(a), ss.Row(b))
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return out
+}
+
+// NestedLoopJoin is the O(|r|·|s|) reference implementation used only to
+// validate the fast joins in tests.
+func NestedLoopJoin(name string, r, s *Relation) *Relation {
+	shared := SharedAttrs(r, s)
+	out := New(name, joinSchema(r, s)...)
+	rc := make([]int, len(shared))
+	sc := make([]int, len(shared))
+	for i, a := range shared {
+		rc[i] = r.MustCol(a)
+		sc[i] = s.MustCol(a)
+	}
+	emit := makeEmitter(out, r, s)
+	nr, ns := r.Len(), s.Len()
+	for i := 0; i < nr; i++ {
+		ri := r.Row(i)
+	probe:
+		for j := 0; j < ns; j++ {
+			sj := s.Row(j)
+			for k := range shared {
+				if ri[rc[k]] != sj[sc[k]] {
+					continue probe
+				}
+			}
+			emit(ri, sj)
+		}
+	}
+	return out
+}
+
+// Semijoin returns the tuples of r that join with at least one tuple of
+// s on their shared attributes (r ⋉ s). With no shared attributes it
+// returns all of r if s is non-empty, else none.
+func Semijoin(name string, r, s *Relation) *Relation {
+	shared := SharedAttrs(r, s)
+	if len(shared) == 0 {
+		if s.Len() > 0 {
+			out := r.Clone()
+			out.name = name
+			return out
+		}
+		return New(name, r.attrs...)
+	}
+	ix := BuildIndex(s, shared)
+	cols := make([]int, len(shared))
+	for i, a := range shared {
+		cols[i] = r.MustCol(a)
+	}
+	return r.Select(name, func(row []Value) bool {
+		return len(ix.Lookup(row, cols)) > 0
+	})
+}
+
+// Antijoin returns the tuples of r that join with no tuple of s.
+func Antijoin(name string, r, s *Relation) *Relation {
+	shared := SharedAttrs(r, s)
+	if len(shared) == 0 {
+		if s.Len() > 0 {
+			return New(name, r.attrs...)
+		}
+		out := r.Clone()
+		out.name = name
+		return out
+	}
+	ix := BuildIndex(s, shared)
+	cols := make([]int, len(shared))
+	for i, a := range shared {
+		cols[i] = r.MustCol(a)
+	}
+	return r.Select(name, func(row []Value) bool {
+		return len(ix.Lookup(row, cols)) == 0
+	})
+}
+
+// Intersect returns the set intersection of relations with identical
+// schemas (used by the optimized GYM semijoin phase).
+func Intersect(name string, rels ...*Relation) *Relation {
+	if len(rels) == 0 {
+		panic("relation: Intersect of nothing")
+	}
+	out := rels[0].Clone()
+	out.name = name
+	for _, s := range rels[1:] {
+		out = Semijoin(name, out, s.Project("tmp", out.attrs...))
+	}
+	out.Dedup()
+	return out
+}
+
+// MultiJoin naturally joins the given relations left to right with
+// binary hash joins. It is the baseline "iterative binary join" local
+// evaluator; see GenericJoin for the worst-case-optimal alternative.
+func MultiJoin(name string, rels ...*Relation) *Relation {
+	if len(rels) == 0 {
+		panic("relation: MultiJoin of nothing")
+	}
+	acc := rels[0]
+	for i, s := range rels[1:] {
+		nm := name
+		if i < len(rels)-2 {
+			nm = "tmp"
+		}
+		acc = HashJoin(nm, acc, s)
+	}
+	if acc == rels[0] {
+		acc = acc.Clone()
+		acc.name = name
+	}
+	return acc
+}
+
+// TopKByCount is a helper returning the k most frequent values of attr,
+// most frequent first, ties broken by value.
+func TopKByCount(r *Relation, attr string, k int) []Value {
+	c := r.MustCol(attr)
+	counts := make(map[Value]int)
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		counts[r.Row(i)[c]]++
+	}
+	vals := make([]Value, 0, len(counts))
+	for v := range counts {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(a, b int) bool {
+		if counts[vals[a]] != counts[vals[b]] {
+			return counts[vals[a]] > counts[vals[b]]
+		}
+		return vals[a] < vals[b]
+	})
+	if len(vals) > k {
+		vals = vals[:k]
+	}
+	return vals
+}

@@ -1,0 +1,100 @@
+package relation
+
+// Key encoding and seeded hashing for tuples. All MPC algorithms in this
+// repository route tuples by hashing attribute values; the hash must be
+// deterministic across runs (for reproducible experiments) yet
+// independently re-seedable per attribute (the HyperCube algorithm
+// requires k independent hash functions, one per variable).
+
+// EncodeKey packs the selected columns of row into a string usable as a
+// map key. The encoding is injective: 8 bytes per value, little endian.
+func EncodeKey(row []Value, cols []int) string {
+	b := make([]byte, 0, 8*len(cols))
+	for _, c := range cols {
+		v := uint64(row[c])
+		b = append(b,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(b)
+}
+
+// Hash64 mixes a single value with a seed using an FNV-1a style round
+// followed by a 64-bit finalizer (splitmix64). The finalizer matters:
+// plain FNV on small integers leaves low bits highly structured, which
+// skews modulo-p partitioning.
+func Hash64(v Value, seed uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ seed
+	x := uint64(v)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= prime
+		x >>= 8
+	}
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// HashRow hashes the selected columns of row under one seed.
+func HashRow(row []Value, cols []int, seed uint64) uint64 {
+	h := seed ^ 0x9e3779b97f4a7c15
+	for _, c := range cols {
+		h = Hash64(row[c], h)
+	}
+	return h
+}
+
+// Bucket maps a hash to one of p buckets.
+func Bucket(h uint64, p int) int {
+	return int(h % uint64(p))
+}
+
+// Index is a hash index from a key (a subset of columns) to the row
+// indices holding that key. It is the workhorse of local hash joins.
+type Index struct {
+	rel  *Relation
+	cols []int
+	m    map[string][]int32
+}
+
+// BuildIndex indexes rel on the given attributes.
+func BuildIndex(rel *Relation, attrs []string) *Index {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		cols[i] = rel.MustCol(a)
+	}
+	m := make(map[string][]int32, rel.Len())
+	n := rel.Len()
+	for i := 0; i < n; i++ {
+		k := EncodeKey(rel.Row(i), cols)
+		m[k] = append(m[k], int32(i))
+	}
+	return &Index{rel: rel, cols: cols, m: m}
+}
+
+// Lookup returns the indices of rows whose key columns equal the key
+// columns of probe (interpreted under probeCols).
+func (ix *Index) Lookup(probe []Value, probeCols []int) []int32 {
+	return ix.m[EncodeKey(probe, probeCols)]
+}
+
+// LookupKey returns rows matching an explicit key tuple.
+func (ix *Index) LookupKey(key []Value) []int32 {
+	cols := make([]int, len(key))
+	for i := range key {
+		cols[i] = i
+	}
+	return ix.m[EncodeKey(key, cols)]
+}
+
+// DistinctKeys returns the number of distinct keys in the index.
+func (ix *Index) DistinctKeys() int { return len(ix.m) }

@@ -1,0 +1,197 @@
+package relation
+
+import "sort"
+
+// LeapfrogJoin is a second worst-case-optimal multiway join, in the
+// style of Leapfrog Triejoin (Veldhuizen '14): each relation is sorted
+// into a trie ordering consistent with the global variable order, and
+// at every level the participating relations intersect their current
+// key ranges by leapfrogging — repeatedly galloping (exponential
+// search) to the maximum of the current candidates. It computes exactly
+// the same set of bindings as GenericJoin; having two independent
+// worst-case-optimal implementations lets tests cross-validate them and
+// benchmarks compare their constants.
+//
+// varOrder must cover every attribute of every input exactly once; the
+// output schema is varOrder.
+func LeapfrogJoin(name string, varOrder []string, rels ...*Relation) *Relation {
+	if len(rels) == 0 {
+		panic("relation: LeapfrogJoin of nothing")
+	}
+	seen := map[string]bool{}
+	pos := map[string]int{}
+	for i, v := range varOrder {
+		if seen[v] {
+			panic("relation: LeapfrogJoin duplicate variable " + v)
+		}
+		seen[v] = true
+		pos[v] = i
+	}
+	for _, r := range rels {
+		for _, a := range r.Attrs() {
+			if !seen[a] {
+				panic("relation: LeapfrogJoin variable order misses " + a)
+			}
+		}
+	}
+	out := New(name, varOrder...)
+	// Per relation: its columns permuted into global variable order, and
+	// its rows sorted by that permuted key.
+	type trie struct {
+		rel  *Relation
+		cols []int // column index per level (sorted by global var order)
+		vars []int // global position of each level's variable
+		rows []int32
+	}
+	tries := make([]*trie, len(rels))
+	for i, r := range rels {
+		t := &trie{rel: r}
+		attrs := append([]string(nil), r.Attrs()...)
+		sort.Slice(attrs, func(a, b int) bool { return pos[attrs[a]] < pos[attrs[b]] })
+		for _, a := range attrs {
+			t.cols = append(t.cols, r.MustCol(a))
+			t.vars = append(t.vars, pos[a])
+		}
+		t.rows = make([]int32, r.Len())
+		for j := range t.rows {
+			t.rows[j] = int32(j)
+		}
+		sort.Slice(t.rows, func(a, b int) bool {
+			ra, rb := r.Row(int(t.rows[a])), r.Row(int(t.rows[b]))
+			for _, c := range t.cols {
+				if ra[c] != rb[c] {
+					return ra[c] < rb[c]
+				}
+			}
+			return false
+		})
+		tries[i] = t
+	}
+	// Current row range per relation, and each relation's current trie
+	// level (how many of its own variables are bound).
+	type rng struct{ lo, hi int }
+	ranges := make([]rng, len(tries))
+	levels := make([]int, len(tries))
+	for i, t := range tries {
+		ranges[i] = rng{0, len(t.rows)}
+	}
+	binding := make([]Value, len(varOrder))
+
+	// valueAt returns the level-key of trie i's row at sorted index k.
+	valueAt := func(i, k int) Value {
+		t := tries[i]
+		return t.rel.Row(int(t.rows[k]))[t.cols[levels[i]]]
+	}
+	// gallop advances lo within [lo, hi) to the first row whose current
+	// level value is ≥ v, using exponential search then binary search.
+	gallop := func(i int, v Value) int {
+		lo, hi := ranges[i].lo, ranges[i].hi
+		if lo >= hi || valueAt(i, lo) >= v {
+			return lo
+		}
+		step := 1
+		prev := lo
+		for lo+step < hi && valueAt(i, lo+step) < v {
+			prev = lo + step
+			step *= 2
+		}
+		limit := lo + step
+		if limit > hi {
+			limit = hi
+		}
+		return prev + sort.Search(limit-prev, func(k int) bool {
+			return valueAt(i, prev+k) >= v
+		})
+	}
+	// runEnd returns the end of the run of rows equal to v at the current
+	// level of trie i, starting at lo.
+	runEnd := func(i, lo int, v Value) int {
+		hi := ranges[i].hi
+		return lo + sort.Search(hi-lo, func(k int) bool {
+			return valueAt(i, lo+k) > v
+		})
+	}
+
+	// Contract: every recurse call leaves ranges and levels exactly as
+	// it found them for its participants — deeper levels iterate over
+	// the same shared state, so each level restores on every exit path.
+	var recurse func(depth int)
+	recurse = func(depth int) {
+		if depth == len(varOrder) {
+			out.data = append(out.data, binding...)
+			return
+		}
+		// Relations whose next unbound variable is varOrder[depth].
+		var part []int
+		for i, t := range tries {
+			if levels[i] < len(t.cols) && t.vars[levels[i]] == depth {
+				part = append(part, i)
+			}
+		}
+		if len(part) == 0 {
+			// No relation constrains this variable: with full-coverage
+			// inputs this cannot happen for satisfiable bindings.
+			return
+		}
+		entry := make([]rng, len(part))
+		for k, i := range part {
+			entry[k] = ranges[i]
+		}
+		defer func() {
+			for k, i := range part {
+				ranges[i] = entry[k]
+			}
+		}()
+		// Any empty range kills the subtree.
+		for _, i := range part {
+			if ranges[i].lo >= ranges[i].hi {
+				return
+			}
+		}
+		// Leapfrog: candidate = max of current heads; gallop all to it.
+		run := make([]rng, len(part))
+		for {
+			cand := valueAt(part[0], ranges[part[0]].lo)
+			for _, i := range part[1:] {
+				if v := valueAt(i, ranges[i].lo); v > cand {
+					cand = v
+				}
+			}
+			agree := true
+			for _, i := range part {
+				lo := gallop(i, cand)
+				ranges[i].lo = lo
+				if lo >= ranges[i].hi {
+					return // exhausted
+				}
+				if valueAt(i, lo) != cand {
+					agree = false
+				}
+			}
+			if !agree {
+				continue
+			}
+			// Match: bind and recurse on the equal runs.
+			binding[depth] = cand
+			for k, i := range part {
+				end := runEnd(i, ranges[i].lo, cand)
+				run[k] = rng{ranges[i].lo, end}
+				ranges[i] = run[k]
+				levels[i]++
+			}
+			recurse(depth + 1)
+			for k, i := range part {
+				// Continue after the run, within this level's bounds.
+				ranges[i] = rng{run[k].hi, entry[k].hi}
+				levels[i]--
+			}
+			for _, i := range part {
+				if ranges[i].lo >= ranges[i].hi {
+					return
+				}
+			}
+		}
+	}
+	recurse(0)
+	return out
+}

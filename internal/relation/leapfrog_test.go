@@ -1,0 +1,141 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLeapfrogTriangle(t *testing.T) {
+	edges := [][]Value{{1, 2}, {2, 3}, {3, 1}, {1, 4}}
+	r := FromRows("R", []string{"x", "y"}, edges)
+	s := FromRows("S", []string{"y", "z"}, edges)
+	u := FromRows("T", []string{"z", "x"}, edges)
+	got := LeapfrogJoin("Tri", []string{"x", "y", "z"}, r, s, u)
+	want := GenericJoin("Tri", []string{"x", "y", "z"}, r, s, u)
+	if !got.EqualAsSets(want) || got.Len() != want.Len() {
+		t.Fatalf("leapfrog = %v, want %v", got, want)
+	}
+}
+
+// TestLeapfrogMatchesGenericJoin cross-validates the two worst-case-
+// optimal implementations on random cyclic and acyclic queries.
+func TestLeapfrogMatchesGenericJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		dom := 2 + rng.Intn(7)
+		r := randRel(rng, "R", []string{"x", "y"}, rng.Intn(35), dom)
+		s := randRel(rng, "S", []string{"y", "z"}, rng.Intn(35), dom)
+		u := randRel(rng, "T", []string{"z", "x"}, rng.Intn(35), dom)
+		r.Dedup()
+		s.Dedup()
+		u.Dedup()
+		lf := LeapfrogJoin("J", []string{"x", "y", "z"}, r, s, u)
+		gj := GenericJoin("J", []string{"x", "y", "z"}, r, s, u)
+		if !lf.EqualAsSets(gj) || lf.Len() != gj.Len() {
+			t.Fatalf("trial %d: leapfrog %d rows, generic %d rows", trial, lf.Len(), gj.Len())
+		}
+	}
+}
+
+func TestLeapfrogChainQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	r := randRel(rng, "R", []string{"a", "b"}, 50, 8)
+	s := randRel(rng, "S", []string{"b", "c"}, 50, 8)
+	u := randRel(rng, "U", []string{"c", "d"}, 50, 8)
+	r.Dedup()
+	s.Dedup()
+	u.Dedup()
+	lf := LeapfrogJoin("J", []string{"a", "b", "c", "d"}, r, s, u)
+	gj := GenericJoin("J", []string{"a", "b", "c", "d"}, r, s, u)
+	if !lf.EqualAsSets(gj) {
+		t.Fatal("leapfrog disagrees on chain query")
+	}
+}
+
+func TestLeapfrogVarOrderInsensitive(t *testing.T) {
+	// Any variable order yields the same result set.
+	rng := rand.New(rand.NewSource(37))
+	r := randRel(rng, "R", []string{"x", "y"}, 30, 5)
+	s := randRel(rng, "S", []string{"y", "z"}, 30, 5)
+	u := randRel(rng, "T", []string{"z", "x"}, 30, 5)
+	r.Dedup()
+	s.Dedup()
+	u.Dedup()
+	orders := [][]string{
+		{"x", "y", "z"}, {"z", "y", "x"}, {"y", "x", "z"}, {"y", "z", "x"},
+	}
+	base := LeapfrogJoin("J", orders[0], r, s, u)
+	for _, ord := range orders[1:] {
+		got := LeapfrogJoin("J", ord, r, s, u)
+		if got.Len() != base.Len() {
+			t.Fatalf("order %v: %d rows, want %d", ord, got.Len(), base.Len())
+		}
+		if !got.Project("p", "x", "y", "z").EqualAsSets(base) {
+			t.Fatalf("order %v: different bindings", ord)
+		}
+	}
+}
+
+func TestLeapfrogSingleRelationAndEmpty(t *testing.T) {
+	r := FromRows("R", []string{"x", "y"}, [][]Value{{1, 2}, {3, 4}})
+	got := LeapfrogJoin("J", []string{"y", "x"}, r)
+	want := FromRows("W", []string{"y", "x"}, [][]Value{{2, 1}, {4, 3}})
+	if !got.EqualAsSets(want) {
+		t.Fatalf("single relation: %v", got)
+	}
+	empty := New("E", "x", "y")
+	s := FromRows("S", []string{"y", "z"}, [][]Value{{2, 9}})
+	if out := LeapfrogJoin("J", []string{"x", "y", "z"}, empty, s); out.Len() != 0 {
+		t.Fatalf("empty input join = %d rows", out.Len())
+	}
+}
+
+func TestLeapfrogDuplicateRunHandling(t *testing.T) {
+	// Heavy duplication of join keys: runs must be enumerated fully.
+	r := New("R", "x", "y")
+	s := New("S", "y", "z")
+	for i := Value(0); i < 6; i++ {
+		r.Append(i%2, 7)
+		s.Append(7, i%3)
+	}
+	r.Dedup()
+	s.Dedup()
+	lf := LeapfrogJoin("J", []string{"x", "y", "z"}, r, s)
+	if lf.Len() != 2*3 {
+		t.Fatalf("run join = %d rows, want 6", lf.Len())
+	}
+}
+
+func TestLeapfrogPanics(t *testing.T) {
+	r := FromRows("R", []string{"x", "y"}, [][]Value{{1, 2}})
+	mustPanic(t, "dup var", func() { LeapfrogJoin("J", []string{"x", "x"}, r) })
+	mustPanic(t, "missing var", func() { LeapfrogJoin("J", []string{"x"}, r) })
+	mustPanic(t, "no rels", func() { LeapfrogJoin("J", []string{"x"}) })
+}
+
+func BenchmarkLocalJoinTriangle(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func(n string, a1, a2 string) *Relation {
+		r := randRel(rng, n, []string{a1, a2}, 3000, 400)
+		r.Dedup()
+		return r
+	}
+	r := mk("R", "x", "y")
+	s := mk("S", "y", "z")
+	u := mk("T", "z", "x")
+	b.Run("generic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			GenericJoin("J", []string{"x", "y", "z"}, r, s, u)
+		}
+	})
+	b.Run("leapfrog", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			LeapfrogJoin("J", []string{"x", "y", "z"}, r, s, u)
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MultiJoin("J", r, s, u)
+		}
+	})
+}

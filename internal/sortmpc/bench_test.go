@@ -1,0 +1,39 @@
+package sortmpc
+
+import (
+	"fmt"
+	"testing"
+
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/workload"
+)
+
+func BenchmarkPSRS(b *testing.B) {
+	const n = 200000
+	for _, p := range []int{8, 32} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			rel := workload.Uniform("R", []string{"k", "v"}, n, 1<<30, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := mpc.NewCluster(p, 1)
+				c.ScatterRoundRobin(rel)
+				PSRS(c, "R", []string{"k"}, "sorted")
+			}
+		})
+	}
+}
+
+func BenchmarkFanLimitedSort(b *testing.B) {
+	const n, p = 100000, 32
+	for _, fan := range []int{2, 8} {
+		b.Run(fmt.Sprintf("fan%d", fan), func(b *testing.B) {
+			rel := workload.Uniform("R", []string{"k", "v"}, n, 1<<30, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := mpc.NewCluster(p, 1)
+				c.ScatterRoundRobin(rel)
+				FanLimitedSort(c, "R", []string{"k"}, "sorted", fan)
+			}
+		})
+	}
+}

@@ -1,0 +1,28 @@
+package sortmpc_test
+
+import (
+	"fmt"
+
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/sortmpc"
+)
+
+// ExamplePSRS sorts a small distributed relation by key with parallel
+// sort by regular sampling (slides 100–101).
+func ExamplePSRS() {
+	c := mpc.NewCluster(4, 1)
+	rel := relation.New("R", "k", "v")
+	for i := 99; i >= 0; i-- {
+		rel.Append(relation.Value(i), relation.Value(i*10))
+	}
+	c.ScatterRoundRobin(rel)
+	res := sortmpc.PSRS(c, "R", []string{"k"}, "sorted")
+	fmt.Println("rounds:", res.Rounds)
+	fmt.Println("sorted:", sortmpc.VerifySorted(c, "sorted", []string{"k"}) == nil)
+	fmt.Println("total:", c.TotalLen("sorted"))
+	// Output:
+	// rounds: 2
+	// sorted: true
+	// total: 100
+}

@@ -1,0 +1,120 @@
+// Package stats computes the data statistics that skew-aware MPC
+// algorithms consume: per-value degrees (frequencies) of join
+// attributes, heavy-hitter detection against the tutorial's thresholds
+// (a value is heavy when its degree exceeds IN/p — slide 29 for two-way
+// joins, N/p for SkewHC on slide 47), and summary skew measures.
+package stats
+
+import (
+	"sort"
+
+	"mpcquery/internal/relation"
+)
+
+// Degrees maps each distinct value of one attribute to its frequency.
+type Degrees map[relation.Value]int
+
+// DegreesOf counts the occurrences of each value of attr in rel.
+func DegreesOf(rel *relation.Relation, attr string) Degrees {
+	c := rel.MustCol(attr)
+	d := make(Degrees)
+	n := rel.Len()
+	for i := 0; i < n; i++ {
+		d[rel.Row(i)[c]]++
+	}
+	return d
+}
+
+// Merge adds other's counts into d.
+func (d Degrees) Merge(other Degrees) {
+	for v, n := range other {
+		d[v] += n
+	}
+}
+
+// Max returns the maximum degree (0 for empty).
+func (d Degrees) Max() int {
+	m := 0
+	for _, n := range d {
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// HeavyHitters returns the values with degree ≥ threshold, sorted
+// ascending for determinism.
+func (d Degrees) HeavyHitters(threshold int) []relation.Value {
+	var out []relation.Value
+	for v, n := range d {
+		if n >= threshold {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// HeavySet returns HeavyHitters as a membership set.
+func (d Degrees) HeavySet(threshold int) map[relation.Value]bool {
+	set := map[relation.Value]bool{}
+	for v, n := range d {
+		if n >= threshold {
+			set[v] = true
+		}
+	}
+	return set
+}
+
+// Summary describes the degree distribution of one attribute.
+type Summary struct {
+	Distinct  int
+	Total     int
+	MaxDegree int
+	// P99Degree is the degree at the 99th percentile of values.
+	P99Degree int
+}
+
+// Summarize computes a Summary from degrees.
+func Summarize(d Degrees) Summary {
+	s := Summary{Distinct: len(d)}
+	degs := make([]int, 0, len(d))
+	for _, n := range d {
+		s.Total += n
+		if n > s.MaxDegree {
+			s.MaxDegree = n
+		}
+		degs = append(degs, n)
+	}
+	if len(degs) > 0 {
+		sort.Ints(degs)
+		s.P99Degree = degs[len(degs)*99/100]
+	}
+	return s
+}
+
+// JoinHeavyHitters finds the heavy hitters of a join attribute across
+// both sides of a two-way join: values whose degree in r or in s
+// reaches threshold (slide 29: "occurs at least IN/p times in R or S").
+func JoinHeavyHitters(r, s *relation.Relation, attr string, threshold int) []relation.Value {
+	dr := DegreesOf(r, attr)
+	ds := DegreesOf(s, attr)
+	set := map[relation.Value]bool{}
+	for v, n := range dr {
+		if n >= threshold {
+			set[v] = true
+		}
+	}
+	for v, n := range ds {
+		if n >= threshold {
+			set[v] = true
+		}
+	}
+	out := make([]relation.Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"testing"
+
+	"mpcquery/internal/relation"
+)
+
+func rel(rows ...[]relation.Value) *relation.Relation {
+	return relation.FromRows("R", []string{"y", "p"}, rows)
+}
+
+func TestDegreesOf(t *testing.T) {
+	r := rel([]relation.Value{1, 0}, []relation.Value{1, 1}, []relation.Value{2, 2})
+	d := DegreesOf(r, "y")
+	if d[1] != 2 || d[2] != 1 || len(d) != 2 {
+		t.Fatalf("degrees = %v", d)
+	}
+	if d.Max() != 2 {
+		t.Fatalf("max = %d", d.Max())
+	}
+}
+
+func TestDegreesEmpty(t *testing.T) {
+	d := DegreesOf(relation.New("R", "y"), "y")
+	if len(d) != 0 || d.Max() != 0 {
+		t.Fatalf("empty degrees wrong: %v", d)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Degrees{1: 2, 2: 1}
+	b := Degrees{2: 3, 5: 1}
+	a.Merge(b)
+	if a[1] != 2 || a[2] != 4 || a[5] != 1 {
+		t.Fatalf("merged = %v", a)
+	}
+}
+
+func TestHeavyHitters(t *testing.T) {
+	d := Degrees{10: 5, 20: 3, 30: 5, 40: 1}
+	hh := d.HeavyHitters(4)
+	if len(hh) != 2 || hh[0] != 10 || hh[1] != 30 {
+		t.Fatalf("heavy = %v", hh)
+	}
+	set := d.HeavySet(4)
+	if !set[10] || !set[30] || set[20] {
+		t.Fatalf("heavy set = %v", set)
+	}
+	if got := d.HeavyHitters(100); len(got) != 0 {
+		t.Fatalf("threshold 100 should find none: %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := Degrees{}
+	for v := relation.Value(0); v < 100; v++ {
+		d[v] = 1
+	}
+	d[999] = 50
+	s := Summarize(d)
+	if s.Distinct != 101 || s.Total != 150 || s.MaxDegree != 50 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P99Degree != 1 {
+		t.Fatalf("p99 = %d, want 1 (heavy value is beyond p99)", s.P99Degree)
+	}
+	empty := Summarize(Degrees{})
+	if empty.Distinct != 0 || empty.MaxDegree != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+func TestJoinHeavyHitters(t *testing.T) {
+	r := rel([]relation.Value{1, 0}, []relation.Value{1, 1}, []relation.Value{2, 2})
+	s := relation.FromRows("S", []string{"y", "q"}, [][]relation.Value{{2, 0}, {2, 1}, {3, 2}})
+	// threshold 2: 1 heavy in r, 2 heavy in s.
+	hh := JoinHeavyHitters(r, s, "y", 2)
+	if len(hh) != 2 || hh[0] != 1 || hh[1] != 2 {
+		t.Fatalf("join heavy = %v", hh)
+	}
+}

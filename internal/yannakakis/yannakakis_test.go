@@ -1,0 +1,299 @@
+package yannakakis
+
+import (
+	"testing"
+
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/workload"
+)
+
+// reference evaluates the query locally with the generic join.
+func reference(q hypergraph.Query, rels map[string]*relation.Relation) *relation.Relation {
+	inputs := make([]*relation.Relation, len(q.Atoms))
+	for i, a := range q.Atoms {
+		r := rels[a.Name]
+		renamed := relation.New(a.Name, a.Vars...)
+		for j := 0; j < r.Len(); j++ {
+			renamed.AppendRow(r.Row(j))
+		}
+		inputs[i] = renamed
+	}
+	out := relation.GenericJoin("want", q.Vars(), inputs...)
+	out.Dedup()
+	return out
+}
+
+func joinTreeOf(t *testing.T, q hypergraph.Query) *hypergraph.JoinTree {
+	t.Helper()
+	ok, jt := hypergraph.IsAcyclic(q)
+	if !ok {
+		t.Fatalf("%s should be acyclic", q.Name)
+	}
+	return jt
+}
+
+func TestSerialSlideTree(t *testing.T) {
+	q := hypergraph.SlideTree()
+	rels := workload.SlideTreeInput(60, 5)
+	out, st := Serial(joinTreeOf(t, q), rels)
+	want := reference(q, rels)
+	outD := out.Clone()
+	outD.Dedup()
+	if !outD.EqualAsSets(want) {
+		t.Fatalf("serial Yannakakis wrong: got %d, want %d", outD.Len(), want.Len())
+	}
+	// O(n) semijoins: 2 per edge = 8 for 5 atoms.
+	if st.Semijoins != 8 {
+		t.Fatalf("semijoins = %d, want 8", st.Semijoins)
+	}
+	if st.Joins != 4 {
+		t.Fatalf("joins = %d, want 4", st.Joins)
+	}
+}
+
+// TestSerialIntermediatesBoundedByOutput is the heart of the Yannakakis
+// guarantee (slide 77): after full reduction every intermediate join has
+// at most OUT tuples.
+func TestSerialIntermediatesBoundedByOutput(t *testing.T) {
+	q := hypergraph.SlideTree()
+	for seed := int64(0); seed < 5; seed++ {
+		rels := workload.SlideTreeInput(80, seed)
+		out, st := Serial(joinTreeOf(t, q), rels)
+		if st.MaxIntermediate > out.Len() && st.MaxIntermediate > 0 && out.Len() > 0 {
+			t.Fatalf("seed %d: intermediate %d > OUT %d", seed, st.MaxIntermediate, out.Len())
+		}
+	}
+}
+
+func TestSerialPathAndStar(t *testing.T) {
+	for _, q := range []hypergraph.Query{hypergraph.Path(5), hypergraph.Star(4), hypergraph.RST()} {
+		rels := map[string]*relation.Relation{}
+		switch q.Name {
+		case "rst":
+			rels["R"] = workload.Uniform("R", []string{"x"}, 40, 30, 1)
+			rels["S"] = workload.Uniform("S", []string{"x", "y"}, 60, 30, 2)
+			rels["T"] = workload.Uniform("T", []string{"y"}, 40, 30, 3)
+		default:
+			for i, a := range q.Atoms {
+				rels[a.Name] = workload.Uniform(a.Name, a.Vars, 50, 25, int64(i+1))
+			}
+		}
+		out, _ := Serial(joinTreeOf(t, q), rels)
+		out.Dedup()
+		want := reference(q, rels)
+		if !out.EqualAsSets(want) {
+			t.Errorf("%s: serial result differs (got %d want %d)", q.Name, out.Len(), want.Len())
+		}
+	}
+}
+
+func TestGYMCorrect(t *testing.T) {
+	q := hypergraph.SlideTree()
+	rels := workload.SlideTreeInput(60, 7)
+	want := reference(q, rels)
+	c := mpc.NewCluster(8, 1)
+	res := GYM(c, joinTreeOf(t, q), rels, "out", 42)
+	got := c.Gather("out")
+	got.Dedup()
+	if !got.EqualAsSets(want) {
+		t.Fatalf("GYM wrong: got %d, want %d", got.Len(), want.Len())
+	}
+	// Vanilla rounds: one per semijoin (8) + one per join (4) = 12.
+	if res.Rounds != 12 {
+		t.Fatalf("vanilla GYM rounds = %d, want 12", res.Rounds)
+	}
+}
+
+func TestGYMOptimizedCorrectAndFewerRounds(t *testing.T) {
+	q := hypergraph.SlideTree()
+	rels := workload.SlideTreeInput(60, 9)
+	want := reference(q, rels)
+
+	cv := mpc.NewCluster(8, 1)
+	rv := GYM(cv, joinTreeOf(t, q), rels, "out", 42)
+
+	co := mpc.NewCluster(8, 1)
+	ro := GYMOptimized(co, joinTreeOf(t, q), rels, "out", 42)
+
+	got := co.Gather("out")
+	got.Dedup()
+	if !got.EqualAsSets(want) {
+		t.Fatalf("optimized GYM wrong: got %d, want %d", got.Len(), want.Len())
+	}
+	if ro.Rounds >= rv.Rounds {
+		t.Fatalf("optimized rounds %d should beat vanilla %d", ro.Rounds, rv.Rounds)
+	}
+}
+
+// Slide 80 vs slide 94: on the star-4 query vanilla GYM takes 9 rounds
+// (3 up + 3 down + 3 join) and optimized takes 4 (semijoin, intersect,
+// down, join).
+func TestGYMStarRoundCounts(t *testing.T) {
+	q := hypergraph.Star(4)
+	rels := map[string]*relation.Relation{}
+	for i, a := range q.Atoms {
+		rels[a.Name] = workload.Uniform(a.Name, a.Vars, 60, 20, int64(i+1))
+	}
+	want := reference(q, rels)
+
+	cv := mpc.NewCluster(8, 1)
+	rv := GYM(cv, joinTreeOf(t, q), rels, "out", 42)
+	gv := cv.Gather("out")
+	gv.Dedup()
+	if !gv.EqualAsSets(want) {
+		t.Fatal("vanilla GYM wrong on star")
+	}
+	if rv.Rounds != 9 {
+		t.Fatalf("vanilla star-4 rounds = %d, slide says 9", rv.Rounds)
+	}
+
+	co := mpc.NewCluster(8, 1)
+	ro := GYMOptimized(co, joinTreeOf(t, q), rels, "out", 42)
+	g := co.Gather("out")
+	g.Dedup()
+	if !g.EqualAsSets(want) {
+		t.Fatal("optimized GYM wrong on star")
+	}
+	if ro.Rounds != 4 {
+		t.Fatalf("optimized star-4 rounds = %d, slide says 4", ro.Rounds)
+	}
+}
+
+func TestIterativeBinaryJoinCorrect(t *testing.T) {
+	q := hypergraph.Path(4)
+	rels := map[string]*relation.Relation{}
+	for _, r := range workload.PathInput(4, 50) {
+		rels[r.Name()] = r
+	}
+	c := mpc.NewCluster(8, 1)
+	res := IterativeBinaryJoin(c, q, rels, "out", 42)
+	got := c.Gather("out")
+	if got.Len() != 50 {
+		t.Fatalf("path-4 matching join = %d, want 50", got.Len())
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("rounds = %d, want n-1 = 3", res.Rounds)
+	}
+	// Matching inputs: intermediates never grow (slide 57).
+	if res.MaxIntermediate > 50 {
+		t.Fatalf("matching data intermediates grew: %d", res.MaxIntermediate)
+	}
+}
+
+// TestIterativeBinaryJoinBlowup reproduces slide 63: with multiplicity-d
+// inputs the intermediate T1 = R1 ⋈ R2 has d² tuples per chain — far
+// larger than IN or OUT would suggest per step.
+func TestIterativeBinaryJoinBlowup(t *testing.T) {
+	q := hypergraph.Path(3)
+	const d = 12
+	// Each Ri: keys 0..4 × multiplicity d on both sides of the chain.
+	mk := func(name, a1, a2 string) *relation.Relation {
+		r := relation.New(name, a1, a2)
+		for k := relation.Value(0); k < 5; k++ {
+			for i := relation.Value(0); i < d; i++ {
+				r.Append(k*100+i, k)
+				_ = i
+			}
+		}
+		return r
+	}
+	// Build R1(A0,A1), R2(A1,A2), R3(A2,A3) so that A1 and A2 have
+	// degree d on both sides.
+	r1 := relation.New("R1", "A0", "A1")
+	r2 := relation.New("R2", "A1", "A2")
+	r3 := relation.New("R3", "A2", "A3")
+	for k := relation.Value(0); k < 5; k++ {
+		for i := relation.Value(0); i < d; i++ {
+			r1.Append(k*1000+i, k)
+			r2.Append(k, k)
+			r3.Append(k, k*1000+i)
+		}
+	}
+	_ = mk
+	rels := map[string]*relation.Relation{"R1": r1, "R2": r2, "R3": r3}
+	c := mpc.NewCluster(8, 1)
+	res := IterativeBinaryJoin(c, q, rels, "out", 42)
+	in := r1.Len() + r2.Len() + r3.Len()
+	if res.MaxIntermediate <= in {
+		t.Fatalf("expected intermediate blowup: max %d ≤ IN %d", res.MaxIntermediate, in)
+	}
+	want := reference(q, rels)
+	got := c.Gather("out")
+	got.Dedup()
+	if !got.EqualAsSets(want) {
+		t.Fatal("blowup case still must be correct")
+	}
+}
+
+func TestGHDRunPathDecompositions(t *testing.T) {
+	const n = 4
+	q := hypergraph.Path(n)
+	rels := map[string]*relation.Relation{}
+	for i, a := range q.Atoms {
+		rels[a.Name] = workload.Uniform(a.Name, a.Vars, 30, 10, int64(i+1))
+	}
+	want := reference(q, rels)
+	for name, g := range map[string]*hypergraph.GHD{
+		"chain":    hypergraph.PathChainGHD(n),
+		"flat":     hypergraph.PathFlatGHD(n),
+		"balanced": hypergraph.PathBalancedGHD(n),
+	} {
+		c := mpc.NewCluster(8, 1)
+		GHDRun(c, g, rels, "out", 42)
+		got := c.Gather("out")
+		got.Dedup()
+		if !got.EqualAsSets(want) {
+			t.Errorf("%s GHD run wrong: got %d, want %d", name, got.Len(), want.Len())
+		}
+	}
+}
+
+func TestGHDRoundsScaleWithDepth(t *testing.T) {
+	const n = 8
+	q := hypergraph.Path(n)
+	rels := map[string]*relation.Relation{}
+	for _, r := range workload.PathInput(n, 20) {
+		rels[r.Name()] = r
+	}
+	_ = q
+	runRounds := func(g *hypergraph.GHD) int {
+		c := mpc.NewCluster(8, 1)
+		res := GHDRun(c, g, rels, "out", 42)
+		return res.Rounds
+	}
+	chain := runRounds(hypergraph.PathChainGHD(n))
+	flat := runRounds(hypergraph.PathFlatGHD(n))
+	if flat >= chain {
+		t.Fatalf("flat GHD rounds %d should beat chain GHD rounds %d", flat, chain)
+	}
+}
+
+func TestSemijoinRoundReduces(t *testing.T) {
+	// Direct unit test of the distributed semijoin primitive.
+	c := mpc.NewCluster(4, 1)
+	target := relation.FromRows("T", []string{"x", "y"}, [][]relation.Value{
+		{1, 10}, {2, 20}, {3, 30},
+	})
+	reducer := relation.FromRows("Rd", []string{"y", "z"}, [][]relation.Value{
+		{10, 0}, {30, 0},
+	})
+	c.ScatterRoundRobin(target)
+	c.ScatterRoundRobin(reducer)
+	semijoinRound(c, "semi", "T", "Rd", []string{"x", "y"}, []string{"y", "z"}, 7)
+	got := c.Gather("T")
+	if got.Len() != 2 {
+		t.Fatalf("semijoin kept %d, want 2", got.Len())
+	}
+}
+
+func TestJoinRoundSharedValidation(t *testing.T) {
+	c := mpc.NewCluster(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: no shared attrs")
+		}
+	}()
+	joinRound(c, "j", "A", "B", "out", []string{"x"}, []string{"y"}, 1)
+}
