@@ -1,0 +1,124 @@
+package aggregate
+
+import (
+	"testing"
+
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/testkit"
+)
+
+// Differential tests: distributed grouped aggregation vs the sequential
+// oracle, for every aggregate function, with and without the combiner,
+// over skewed and skew-free group-key distributions. Aggregation is
+// bag-sensitive (duplicates change Sum/Count), and both sides here
+// consume the same un-deduplicated input.
+
+var aggFns = []struct {
+	name string
+	fn   relation.AggFunc
+}{
+	{"sum", relation.Sum},
+	{"count", relation.Count},
+	{"min", relation.Min},
+	{"max", relation.Max},
+}
+
+func gatherAgg(c *mpc.Cluster, outRel string, attrs []string) *relation.Relation {
+	out := relation.New(outRel, attrs...)
+	for i := 0; i < c.P(); i++ {
+		if f := c.Server(i).Rel(outRel); f != nil {
+			out.AppendAll(f.Project(outRel, attrs...))
+		}
+	}
+	return out
+}
+
+// TestAggregateDiff: the one-round combiner aggregation must match the
+// oracle exactly — same groups, same aggregate values.
+func TestAggregateDiff(t *testing.T) {
+	for _, af := range aggFns {
+		af := af
+		t.Run(af.name, func(t *testing.T) {
+			testkit.Sweep(t, testkit.DefaultConfig(), func(t *testing.T, p int, seed int64, skew testkit.Skew) {
+				rel := testkit.GenRelation("R", []string{"g", "v"}, skew, testkit.GenConfig{Tuples: 200}, seed)
+				want := testkit.OracleGroupBy("out", rel, []string{"g"}, af.fn, "v", "a")
+				c := mpc.NewCluster(p, seed)
+				c.ScatterRoundRobin(rel)
+				res, err := Run(c, Spec{
+					Rel: "R", GroupBy: []string{"g"}, Fn: af.fn,
+					AggAttr: "v", OutAttr: "a", OutRel: "out",
+					Seed: uint64(seed),
+				})
+				if err != nil {
+					t.Fatalf("aggregate: %v", err)
+				}
+				testkit.AssertRounds(t, c, 1)
+				if res.Rounds != 1 {
+					t.Errorf("Result.Rounds = %d, want 1", res.Rounds)
+				}
+				got := gatherAgg(c, "out", []string{"g", "a"})
+				if !testkit.BagEqual(got, want) {
+					t.Errorf("differential mismatch: %s", testkit.DiffSample(got, want))
+				}
+				if res.Groups != want.Len() {
+					t.Errorf("Result.Groups = %d, want %d", res.Groups, want.Len())
+				}
+			})
+		})
+	}
+}
+
+// TestAggregateNoCombinerDiff: the ablation shipping raw tuples must
+// produce identical results to both the combiner path and the oracle.
+func TestAggregateNoCombinerDiff(t *testing.T) {
+	cfg := testkit.DefaultConfig()
+	cfg.Ps = []int{2, 4, 8}
+	cfg.Seeds = []int64{1, 2, 3, 4, 5}
+	for _, af := range aggFns {
+		af := af
+		t.Run(af.name, func(t *testing.T) {
+			testkit.Sweep(t, cfg, func(t *testing.T, p int, seed int64, skew testkit.Skew) {
+				rel := testkit.GenRelation("R", []string{"g", "v"}, skew, testkit.GenConfig{Tuples: 200}, seed)
+				want := testkit.OracleGroupBy("out", rel, []string{"g"}, af.fn, "v", "a")
+				c := mpc.NewCluster(p, seed)
+				c.ScatterRoundRobin(rel)
+				if _, err := Run(c, Spec{
+					Rel: "R", GroupBy: []string{"g"}, Fn: af.fn,
+					AggAttr: "v", OutAttr: "a", OutRel: "out",
+					Seed: uint64(seed), NoCombiner: true,
+				}); err != nil {
+					t.Fatalf("aggregate: %v", err)
+				}
+				testkit.AssertRounds(t, c, 1)
+				got := gatherAgg(c, "out", []string{"g", "a"})
+				if !testkit.BagEqual(got, want) {
+					t.Errorf("differential mismatch: %s", testkit.DiffSample(got, want))
+				}
+			})
+		})
+	}
+}
+
+// TestCombinerReducesShuffle pins the reason the combiner exists: on a
+// heavy-hitter distribution the pre-aggregated shuffle must carry
+// strictly fewer tuples than the raw one.
+func TestCombinerReducesShuffle(t *testing.T) {
+	rel := testkit.GenRelation("R", []string{"g", "v"}, testkit.SkewHeavy, testkit.GenConfig{Tuples: 400}, 7)
+	load := func(noCombiner bool) int64 {
+		c := mpc.NewCluster(4, 1)
+		c.ScatterRoundRobin(rel)
+		if _, err := Run(c, Spec{
+			Rel: "R", GroupBy: []string{"g"}, Fn: relation.Sum,
+			AggAttr: "v", OutAttr: "a", OutRel: "out",
+			NoCombiner: noCombiner,
+		}); err != nil {
+			t.Fatalf("aggregate: %v", err)
+		}
+		return c.Metrics().TotalComm()
+	}
+	with, without := load(false), load(true)
+	if with >= without {
+		t.Fatalf("combiner did not reduce communication: %d (combiner) vs %d (raw)", with, without)
+	}
+}

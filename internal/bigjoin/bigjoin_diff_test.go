@@ -1,0 +1,48 @@
+package bigjoin
+
+import (
+	"testing"
+
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/testkit"
+)
+
+// Differential tests: BiGJoin (distributed generic join by variable
+// elimination) vs the sequential oracle, with the plan-derived exact
+// round count (1 setup + one extend per step + one per verifier).
+
+func bigjoinAlgo() testkit.Algo {
+	return func(c *mpc.Cluster, q hypergraph.Query, rels map[string]*relation.Relation, outName string, seed uint64) error {
+		pl, err := NewPlan(q, nil)
+		if err != nil {
+			return err
+		}
+		Run(c, pl, rels, outName, seed)
+		return nil
+	}
+}
+
+func planRounds(q hypergraph.Query, p int) int {
+	pl, err := NewPlan(q, nil)
+	if err != nil {
+		panic(err)
+	}
+	return pl.Rounds()
+}
+
+// TestBiGJoinDiff sweeps BiGJoin over cyclic and acyclic shapes and all
+// four input distributions. The round count is a function of the plan
+// alone (never of p or the data), which the assertion pins per query.
+func TestBiGJoinDiff(t *testing.T) {
+	cfg := testkit.DefaultConfig()
+	cfg.Rounds = planRounds
+	for _, q := range []hypergraph.Query{
+		hypergraph.Triangle(),
+		hypergraph.Path(3),
+		hypergraph.Star(3),
+	} {
+		testkit.RunDiff(t, q, cfg, bigjoinAlgo())
+	}
+}

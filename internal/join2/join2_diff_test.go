@@ -1,0 +1,71 @@
+package join2
+
+import (
+	"testing"
+
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/testkit"
+)
+
+// Differential tests: all four two-way-join strategies vs the
+// sequential oracle on R(x,y) ⋈ S(y,z), across cluster sizes, seeds and
+// input skews, with exact round counts per strategy.
+
+// twoWay adapts a (cluster, R, S) join entry point to the testkit Algo
+// contract by renaming the generated relations to the atom variables.
+func twoWay(join func(c *mpc.Cluster, r, s *relation.Relation, outName string, seed uint64) *Result) testkit.Algo {
+	return func(c *mpc.Cluster, q hypergraph.Query, rels map[string]*relation.Relation, outName string, seed uint64) error {
+		r := testkit.Renamed(q.Atoms[0], rels[q.Atoms[0].Name])
+		s := testkit.Renamed(q.Atoms[1], rels[q.Atoms[1].Name])
+		join(c, r, s, outName, seed)
+		return nil
+	}
+}
+
+func fixedRounds(n int) func(hypergraph.Query, int) int {
+	return func(hypergraph.Query, int) int { return n }
+}
+
+// TestHashJoinDiff: the one-round hash repartition join. τ* = 1, so on
+// skew-free inputs L ≤ 4·IN/p + slack (factor 4 covers hash-placement
+// variance around the IN/p mean at these input sizes).
+func TestHashJoinDiff(t *testing.T) {
+	cfg := testkit.DefaultConfig()
+	cfg.Rounds = fixedRounds(1)
+	cfg.LoadFactor = 4.0
+	testkit.RunDiff(t, hypergraph.TwoWayJoin(), cfg, twoWay(HashJoin))
+}
+
+// TestBroadcastJoinDiff: one round, R replicated everywhere. No load
+// bound asserted — broadcast load is p·|R|/p + |S|/p by design, not
+// IN/p.
+func TestBroadcastJoinDiff(t *testing.T) {
+	cfg := testkit.DefaultConfig()
+	cfg.Rounds = fixedRounds(1)
+	testkit.RunDiff(t, hypergraph.TwoWayJoin(), cfg,
+		func(c *mpc.Cluster, q hypergraph.Query, rels map[string]*relation.Relation, outName string, seed uint64) error {
+			r := testkit.Renamed(q.Atoms[0], rels[q.Atoms[0].Name])
+			s := testkit.Renamed(q.Atoms[1], rels[q.Atoms[1].Name])
+			BroadcastJoin(c, r, s, outName)
+			return nil
+		})
+}
+
+// TestSkewJoinDiff: the three-round skew-resilient join (degree
+// exchange, heavy-hitter broadcast, hybrid shuffle). The skewed
+// distributions in the sweep put heavy hitters on the join attribute y.
+func TestSkewJoinDiff(t *testing.T) {
+	cfg := testkit.DefaultConfig()
+	cfg.Rounds = fixedRounds(3)
+	testkit.RunDiff(t, hypergraph.TwoWayJoin(), cfg, twoWay(SkewJoin))
+}
+
+// TestSortJoinDiff: the four-round sort-based join (2 PSRS rounds +
+// boundary exchange + crossing-value fixup).
+func TestSortJoinDiff(t *testing.T) {
+	cfg := testkit.DefaultConfig()
+	cfg.Rounds = fixedRounds(4)
+	testkit.RunDiff(t, hypergraph.TwoWayJoin(), cfg, twoWay(SortJoin))
+}

@@ -2,6 +2,7 @@ package mpc
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -35,21 +36,25 @@ func (r *RoundStat) TotalRecv() int64 {
 }
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of per-server received
-// tuples this round.
+// tuples this round, using the nearest-rank definition: the smallest
+// value with at least ⌈q·p⌉ servers at or below it. Quantile(0) is the
+// minimum and Quantile(1) the maximum; truncating instead of rounding
+// the rank would bias high quantiles (p99) low on small clusters.
 func (r *RoundStat) Quantile(q float64) int64 {
-	if len(r.Recv) == 0 {
+	n := len(r.Recv)
+	if n == 0 {
 		return 0
 	}
 	sorted := append([]int64(nil), r.Recv...)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-	idx := int(q * float64(len(sorted)-1))
-	if idx < 0 {
-		idx = 0
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if rank > n {
+		rank = n
 	}
-	return sorted[idx]
+	return sorted[rank-1]
 }
 
 // Imbalance returns max/mean of per-server received tuples — 1.0 is
@@ -119,6 +124,44 @@ func (m *Metrics) TotalComm() int64 {
 
 // RoundStats returns the per-round statistics (read-only).
 func (m *Metrics) RoundStats() []RoundStat { return m.stats }
+
+// StatsSince returns the statistics of rounds executed at or after
+// round index `from` (as returned by Rounds() before an algorithm ran)
+// — the windowing primitive for asserting one algorithm's cost on a
+// cluster that has already run others.
+func (m *Metrics) StatsSince(from int) []RoundStat {
+	if from < 0 {
+		from = 0
+	}
+	if from > len(m.stats) {
+		from = len(m.stats)
+	}
+	return m.stats[from:]
+}
+
+// RoundsSince returns the number of rounds executed since round index
+// `from`.
+func (m *Metrics) RoundsSince(from int) int { return len(m.StatsSince(from)) }
+
+// MaxLoadSince returns L restricted to rounds at or after index `from`.
+func (m *Metrics) MaxLoadSince(from int) int64 {
+	var l int64
+	for _, st := range m.StatsSince(from) {
+		if v := st.MaxRecv(); v > l {
+			l = v
+		}
+	}
+	return l
+}
+
+// RoundNames returns the labels of all executed rounds in order.
+func (m *Metrics) RoundNames() []string {
+	names := make([]string, len(m.stats))
+	for i := range m.stats {
+		names[i] = m.stats[i].Name
+	}
+	return names
+}
 
 // MaxLoadOfRound returns the max per-server load of the named round
 // (the first round with that name), or -1 if no such round ran.

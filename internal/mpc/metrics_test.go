@@ -1,0 +1,94 @@
+package mpc
+
+import (
+	"reflect"
+	"testing"
+
+	"mpcquery/internal/relation"
+)
+
+// TestQuantileNearestRank pins the nearest-rank quantile definition:
+// Quantile(q) is the smallest per-server load with at least ⌈q·p⌉
+// servers at or below it.
+func TestQuantileNearestRank(t *testing.T) {
+	tests := []struct {
+		name string
+		recv []int64
+		q    float64
+		want int64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single", []int64{7}, 0.99, 7},
+		{"min", []int64{3, 1, 2}, 0, 1},
+		{"max", []int64{3, 1, 2}, 1, 3},
+		// 10 servers, loads 1..10: p50 = ⌈5⌉th = 5, p90 = ⌈9⌉th = 9,
+		// p99 = ⌈9.9⌉th = 10th = 10. Rank truncation would give p99 = 9.
+		{"p50 of 1..10", []int64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}, 0.5, 5},
+		{"p90 of 1..10", []int64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}, 0.9, 9},
+		{"p99 of 1..10", []int64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}, 0.99, 10},
+		// 4 servers: p99 must be the max, not the second-largest.
+		{"p99 of 4", []int64{4, 2, 3, 1}, 0.99, 4},
+		// Odd count median: ⌈0.5·5⌉ = 3rd smallest.
+		{"median of 5", []int64{50, 10, 30, 20, 40}, 0.5, 30},
+		// q between ranks rounds up: ⌈0.25·4⌉ = 1st smallest.
+		{"p25 of 4", []int64{4, 3, 2, 1}, 0.25, 1},
+		{"p26 of 4", []int64{4, 3, 2, 1}, 0.26, 2},
+	}
+	for _, tc := range tests {
+		rs := RoundStat{Name: tc.name, Recv: tc.recv}
+		if got := rs.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%g) = %d, want %d", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestMetricsWindows exercises the per-algorithm windowing accessors:
+// an algorithm that starts after `from = Rounds()` must see only its
+// own rounds in RoundsSince/MaxLoadSince/StatsSince.
+func TestMetricsWindows(t *testing.T) {
+	c := NewCluster(3, 1)
+	c.Round("setup", func(s *Server, out *Out) {
+		if s.ID() == 0 {
+			st := out.Open("A", "x")
+			for i := 0; i < 9; i++ {
+				st.Send(1, relation.Value(i))
+			}
+		}
+	})
+	from := c.Metrics().Rounds()
+	c.Round("alg:one", func(s *Server, out *Out) {
+		out.Open("B", "x").Send(s.ID(), 1)
+	})
+	c.Round("alg:two", func(s *Server, out *Out) {
+		if s.ID() == 0 {
+			st := out.Open("C", "x")
+			st.Send(2, 1)
+			st.Send(2, 2)
+		}
+	})
+	m := c.Metrics()
+	if got := m.RoundsSince(from); got != 2 {
+		t.Fatalf("RoundsSince = %d, want 2", got)
+	}
+	// The setup round's load of 9 must not leak into the window.
+	if got := m.MaxLoadSince(from); got != 2 {
+		t.Fatalf("MaxLoadSince = %d, want 2", got)
+	}
+	if got := m.MaxLoad(); got != 9 {
+		t.Fatalf("MaxLoad = %d, want 9", got)
+	}
+	wantNames := []string{"setup", "alg:one", "alg:two"}
+	if got := m.RoundNames(); !reflect.DeepEqual(got, wantNames) {
+		t.Fatalf("RoundNames = %v, want %v", got, wantNames)
+	}
+	if got := len(m.StatsSince(from)); got != 2 {
+		t.Fatalf("StatsSince length = %d, want 2", got)
+	}
+	// Out-of-range windows clamp instead of panicking.
+	if got := m.RoundsSince(-1); got != 3 {
+		t.Fatalf("RoundsSince(-1) = %d, want 3", got)
+	}
+	if got := m.RoundsSince(99); got != 0 {
+		t.Fatalf("RoundsSince(99) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,56 @@
+package relation
+
+import "testing"
+
+// FuzzBucketRouting fuzzes the hash-partition routing primitive every
+// shuffle round is built on: for any hash value and cluster size,
+// Bucket must assign exactly one server in [0, p), deterministically.
+func FuzzBucketRouting(f *testing.F) {
+	f.Add(uint64(0), 1)
+	f.Add(uint64(1<<63), 7)
+	f.Add(^uint64(0), 1024)
+	f.Fuzz(func(t *testing.T, h uint64, p int) {
+		if p < 1 || p > 1<<16 {
+			t.Skip("cluster size outside supported range")
+		}
+		dst := Bucket(h, p)
+		if dst < 0 || dst >= p {
+			t.Fatalf("Bucket(%d, %d) = %d outside [0, %d)", h, p, dst, p)
+		}
+		if again := Bucket(h, p); again != dst {
+			t.Fatalf("Bucket(%d, %d) nondeterministic: %d then %d", h, p, dst, again)
+		}
+	})
+}
+
+// FuzzHashRowRouting fuzzes end-to-end tuple routing (HashRow ∘ Bucket)
+// as the algorithms use it: the same tuple hashed on the same columns
+// with the same seed must land on the same single server in [0, p) —
+// the invariant that makes hash joins meet matching tuples.
+func FuzzHashRowRouting(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(0), uint64(0), 2)
+	f.Add(int64(-1), int64(42), int64(7), uint64(0x9e3779b9), 8)
+	f.Add(int64(1<<62), int64(-1<<62), int64(5), ^uint64(0), 1)
+	f.Fuzz(func(t *testing.T, a, b, c int64, seed uint64, p int) {
+		if p < 1 || p > 1<<16 {
+			t.Skip("cluster size outside supported range")
+		}
+		row := []Value{a, b, c}
+		cols := []int{0, 1, 2}
+		dst := Bucket(HashRow(row, cols, seed), p)
+		if dst < 0 || dst >= p {
+			t.Fatalf("tuple %v routed to %d outside [0, %d)", row, dst, p)
+		}
+		// A copy of the tuple (as after a network hop) routes identically.
+		copyRow := []Value{a, b, c}
+		if again := Bucket(HashRow(copyRow, cols, seed), p); again != dst {
+			t.Fatalf("tuple %v routed to %d then %d", row, dst, again)
+		}
+		// Routing on a subset of columns must agree for tuples equal on
+		// that subset, regardless of the other attributes.
+		other := []Value{a, b, c + 1}
+		if d2 := Bucket(HashRow(other, []int{0, 1}, seed), p); d2 != Bucket(HashRow(row, []int{0, 1}, seed), p) {
+			t.Fatalf("join-key routing differs for tuples equal on the key: %d vs %d", d2, dst)
+		}
+	})
+}

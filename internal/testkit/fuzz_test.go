@@ -1,0 +1,62 @@
+package testkit
+
+import (
+	"testing"
+
+	"mpcquery/internal/relation"
+)
+
+// FuzzZipfSampler fuzzes the workload generator's skew source: for any
+// exponent, domain and seed, every sample must land in [0, domain) and
+// two samplers built from identical arguments must produce identical
+// streams (the reproducibility contract of the whole generator).
+func FuzzZipfSampler(f *testing.F) {
+	f.Add(1.5, 64, int64(1))
+	f.Add(1.01, 1, int64(0))
+	f.Add(0.2, 1000, int64(-7)) // exponent ≤ 1 exercises the clamp
+	f.Add(5.0, 2, int64(1<<40))
+	f.Fuzz(func(t *testing.T, s float64, domain int, seed int64) {
+		if domain < 1 || domain > 1<<20 {
+			t.Skip("domain outside supported range")
+		}
+		if s != s || s > 1e6 { // NaN or absurd exponents
+			t.Skip("degenerate exponent")
+		}
+		a := NewZipfSampler(s, domain, seed)
+		b := NewZipfSampler(s, domain, seed)
+		for i := 0; i < 64; i++ {
+			va, vb := a.Next(), b.Next()
+			if va != vb {
+				t.Fatalf("sample %d: %d != %d for identical seeds", i, va, vb)
+			}
+			if va < 0 || va >= relation.Value(domain) {
+				t.Fatalf("sample %d = %d outside [0, %d)", i, va, domain)
+			}
+		}
+	})
+}
+
+// FuzzGenRelation fuzzes the relation generator across all skews: the
+// output must always have the requested cardinality and schema, be
+// seed-deterministic, and keep domain-bounded attributes in range.
+func FuzzGenRelation(f *testing.F) {
+	f.Add(100, 10, int64(1), 0)
+	f.Add(1, 1, int64(-1), 3)
+	f.Add(0, 0, int64(99), 2)
+	f.Fuzz(func(t *testing.T, tuples, domain int, seed int64, skewRaw int) {
+		if tuples < 0 || tuples > 5000 || domain < 0 || domain > 1<<20 {
+			t.Skip("size outside supported range")
+		}
+		skew := AllSkews[((skewRaw%len(AllSkews))+len(AllSkews))%len(AllSkews)]
+		cfg := GenConfig{Tuples: tuples, Domain: domain}
+		a := GenRelation("R", []string{"x", "y"}, skew, cfg, seed)
+		b := GenRelation("R", []string{"x", "y"}, skew, cfg, seed)
+		wantLen := cfg.withDefaults().Tuples
+		if a.Len() != wantLen || a.Arity() != 2 {
+			t.Fatalf("%s: got %d×%d, want %d×2", skew, a.Len(), a.Arity(), wantLen)
+		}
+		if !BagEqual(a, b) {
+			t.Fatalf("%s: same seed produced different relations", skew)
+		}
+	})
+}

@@ -1,0 +1,276 @@
+// Package testkit is the differential correctness harness for every MPC
+// algorithm in this repository. It provides three layers:
+//
+//   - a sequential reference oracle (this file): brute-force nested-loop
+//     join, naive map-based aggregation, and a stdlib sort — small and
+//     obviously correct, deliberately sharing no code with the parallel
+//     algorithms or with relation.GenericJoin;
+//   - a seeded random workload generator (generate.go): databases with
+//     controllable size, domain and skew (uniform, Zipf, heavy-hitter)
+//     plus random conjunctive queries (chains, stars, cycles, triangles);
+//   - a differential runner (differential.go) with theory assertions
+//     (theory.go): every parallel algorithm is executed across a sweep
+//     of (p, seed, skew) and its gathered result compared tuple-for-
+//     tuple against the oracle, while the metered round count r is
+//     asserted exactly and the metered load L is checked against the
+//     IN/p^{1/τ*} bound of Beame–Koutris–Suciu on skew-free inputs.
+//
+// Each algorithm package wires itself in via a <pkg>_diff_test.go file;
+// see README.md in this directory for how to add a new algorithm.
+package testkit
+
+import (
+	"fmt"
+	"sort"
+
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/relation"
+)
+
+// OracleJoin evaluates the conjunctive query q by brute-force nested
+// loops: partial variable bindings are extended atom by atom, scanning
+// every tuple of every relation. Relations are keyed by atom name with
+// columns matched positionally to the atom's variables. The result has
+// schema q.Vars() and set semantics (duplicate input tuples do not
+// multiply output bindings), matching the repository-wide convention.
+//
+// The implementation is intentionally the dumbest correct one — its
+// value as an oracle comes from having nothing in common with the
+// algorithms under test.
+func OracleJoin(q hypergraph.Query, rels map[string]*relation.Relation) *relation.Relation {
+	for _, a := range q.Atoms {
+		r, ok := rels[a.Name]
+		if !ok {
+			panic(fmt.Sprintf("testkit: no relation for atom %s", a.Name))
+		}
+		if r.Arity() != len(a.Vars) {
+			panic(fmt.Sprintf("testkit: relation %s arity %d, atom wants %d", a.Name, r.Arity(), len(a.Vars)))
+		}
+	}
+	bindings := []map[string]relation.Value{{}}
+	for _, a := range q.Atoms {
+		r := rels[a.Name]
+		var next []map[string]relation.Value
+		for _, b := range bindings {
+			for i := 0; i < r.Len(); i++ {
+				row := r.Row(i)
+				consistent := true
+				for j, v := range a.Vars {
+					if bound, has := b[v]; has && bound != row[j] {
+						consistent = false
+						break
+					}
+				}
+				if !consistent {
+					continue
+				}
+				nb := make(map[string]relation.Value, len(b)+len(a.Vars))
+				for k, val := range b {
+					nb[k] = val
+				}
+				for j, v := range a.Vars {
+					nb[v] = row[j]
+				}
+				next = append(next, nb)
+			}
+		}
+		bindings = next
+	}
+	vars := q.Vars()
+	out := relation.New(q.Name, vars...)
+	row := make([]relation.Value, len(vars))
+	for _, b := range bindings {
+		for i, v := range vars {
+			row[i] = b[v]
+		}
+		out.AppendRow(row)
+	}
+	out.Dedup()
+	return out
+}
+
+// OracleGroupBy groups r by the groupBy attributes and aggregates
+// aggAttr with fn, using a plain map of collected values — independent
+// of relation.GroupBy and of the distributed combiner pattern. For
+// Count, aggAttr may be empty. The output (schema groupBy + outAttr) is
+// sorted by group key.
+func OracleGroupBy(name string, r *relation.Relation, groupBy []string, fn relation.AggFunc, aggAttr, outAttr string) *relation.Relation {
+	gcols := make([]int, len(groupBy))
+	for i, a := range groupBy {
+		gcols[i] = r.MustCol(a)
+	}
+	acol := -1
+	if fn != relation.Count {
+		acol = r.MustCol(aggAttr)
+	}
+	type group struct {
+		key  []relation.Value
+		vals []relation.Value
+	}
+	groups := map[string]*group{}
+	var order []string
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		k := relation.EncodeKey(row, gcols)
+		g, ok := groups[k]
+		if !ok {
+			key := make([]relation.Value, len(gcols))
+			for j, c := range gcols {
+				key[j] = row[c]
+			}
+			g = &group{key: key}
+			groups[k] = g
+			order = append(order, k)
+		}
+		if acol >= 0 {
+			g.vals = append(g.vals, row[acol])
+		} else {
+			g.vals = append(g.vals, 1)
+		}
+	}
+	out := relation.New(name, append(append([]string(nil), groupBy...), outAttr)...)
+	for _, k := range order {
+		g := groups[k]
+		var agg relation.Value
+		switch fn {
+		case relation.Sum:
+			for _, v := range g.vals {
+				agg += v
+			}
+		case relation.Count:
+			agg = relation.Value(len(g.vals))
+		case relation.Min:
+			agg = g.vals[0]
+			for _, v := range g.vals {
+				if v < agg {
+					agg = v
+				}
+			}
+		case relation.Max:
+			agg = g.vals[0]
+			for _, v := range g.vals {
+				if v > agg {
+					agg = v
+				}
+			}
+		default:
+			panic(fmt.Sprintf("testkit: unknown aggregate %d", fn))
+		}
+		out.AppendRow(append(append([]relation.Value(nil), g.key...), agg))
+	}
+	out.Sort()
+	return out
+}
+
+// OracleSort returns a copy of r sorted lexicographically by keyAttrs
+// (ties broken by the full tuple), using the stdlib sort directly on a
+// row-index permutation. Bag semantics: duplicates are retained.
+func OracleSort(r *relation.Relation, keyAttrs ...string) *relation.Relation {
+	cols := make([]int, len(keyAttrs))
+	for i, a := range keyAttrs {
+		cols[i] = r.MustCol(a)
+	}
+	n := r.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ra, rb := r.Row(idx[a]), r.Row(idx[b])
+		for _, c := range cols {
+			if ra[c] != rb[c] {
+				return ra[c] < rb[c]
+			}
+		}
+		for c := range ra {
+			if ra[c] != rb[c] {
+				return ra[c] < rb[c]
+			}
+		}
+		return false
+	})
+	out := relation.New(r.Name(), r.Attrs()...)
+	for _, i := range idx {
+		out.AppendRow(r.Row(i))
+	}
+	return out
+}
+
+// BagEqual reports whether a and b hold exactly the same multiset of
+// tuples. The schemas must contain the same attributes, possibly in a
+// different order; b is projected to a's attribute order first.
+func BagEqual(a, b *relation.Relation) bool {
+	if a.Arity() != b.Arity() || a.Len() != b.Len() {
+		return false
+	}
+	for _, attr := range a.Attrs() {
+		if b.Col(attr) < 0 {
+			return false
+		}
+	}
+	as := a.Clone()
+	bs := b.Project(a.Name(), a.Attrs()...)
+	as.Sort()
+	bs.Sort()
+	for i := 0; i < as.Len(); i++ {
+		ra, rb := as.Row(i), bs.Row(i)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DiffSample renders a short human-readable account of how got differs
+// from want (missing and unexpected tuples, a few of each) for test
+// failure messages.
+func DiffSample(got, want *relation.Relation) string {
+	count := func(r *relation.Relation, cols []int) map[string]int {
+		m := map[string]int{}
+		for i := 0; i < r.Len(); i++ {
+			m[relation.EncodeKey(r.Row(i), cols)]++
+		}
+		return m
+	}
+	allCols := func(r *relation.Relation) []int {
+		cols := make([]int, r.Arity())
+		for i := range cols {
+			cols[i] = i
+		}
+		return cols
+	}
+	if got.Arity() != want.Arity() {
+		return fmt.Sprintf("arity mismatch: got %v, want %v", got.Attrs(), want.Attrs())
+	}
+	for _, attr := range want.Attrs() {
+		if got.Col(attr) < 0 {
+			return fmt.Sprintf("schema mismatch: got %v, want %v", got.Attrs(), want.Attrs())
+		}
+	}
+	g := count(got.Project("g", want.Attrs()...), allCols(want))
+	w := count(want, allCols(want))
+	var missing, extra []string
+	for k, n := range w {
+		if g[k] < n {
+			missing = append(missing, fmt.Sprintf("%q×%d", k, n-g[k]))
+		}
+	}
+	for k, n := range g {
+		if w[k] < n {
+			extra = append(extra, fmt.Sprintf("%q×%d", k, n-w[k]))
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	const maxShow = 5
+	if len(missing) > maxShow {
+		missing = append(missing[:maxShow], "...")
+	}
+	if len(extra) > maxShow {
+		extra = append(extra[:maxShow], "...")
+	}
+	return fmt.Sprintf("got %d tuples, want %d; missing %v, unexpected %v",
+		got.Len(), want.Len(), missing, extra)
+}

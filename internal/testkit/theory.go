@@ -1,0 +1,53 @@
+package testkit
+
+import (
+	"math"
+	"testing"
+
+	"mpcquery/internal/fractional"
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/mpc"
+)
+
+// TauStar returns τ*, the maximum fractional edge packing value of q —
+// the exponent in the one-round load lower bound L = Ω(IN/p^{1/τ*})
+// (Beame–Koutris–Suciu; slides 38–45). For the triangle, τ* = 3/2.
+func TauStar(q hypergraph.Query) float64 {
+	ep, err := fractional.MaxEdgePacking(q)
+	if err != nil {
+		panic("testkit: " + err.Error())
+	}
+	return ep.Tau
+}
+
+// LoadBound returns the theoretical skew-free per-server load
+// IN/p^{1/τ*} for query q on a p-server cluster with total input size
+// in.
+func LoadBound(q hypergraph.Query, in int64, p int) float64 {
+	return float64(in) / math.Pow(float64(p), 1/TauStar(q))
+}
+
+// AssertRounds fails the test unless the cluster metered exactly want
+// communication rounds. Exact — not bounded — round counts are part of
+// every algorithm's contract in the MPC model, where r is a headline
+// cost parameter.
+func AssertRounds(t *testing.T, c *mpc.Cluster, want int) {
+	t.Helper()
+	if got := c.Metrics().Rounds(); got != want {
+		t.Errorf("rounds r = %d, want exactly %d\n%s", got, want, c.Metrics())
+	}
+}
+
+// AssertLoadBound fails the test unless the metered max load L is
+// within factor·LoadBound(q, in, p) + slack tuples. factor is the
+// documented constant absorbed by hashing variance and integer share
+// rounding; slack absorbs small-input quantization (at least one tuple
+// per stream per server). Call only on skew-free instances.
+func AssertLoadBound(t *testing.T, c *mpc.Cluster, q hypergraph.Query, in int64, p int, factor float64, slack int64) {
+	t.Helper()
+	bound := factor*LoadBound(q, in, p) + float64(slack)
+	if got := c.Metrics().MaxLoad(); float64(got) > bound {
+		t.Errorf("load L = %d exceeds %.1f = %.2f·IN/p^{1/τ*} + %d (IN=%d, p=%d, τ*=%.3f)\n%s",
+			got, bound, factor, slack, in, p, TauStar(q), c.Metrics())
+	}
+}
