@@ -11,6 +11,8 @@ import (
 	"testing"
 
 	"mpcquery/internal/experiments"
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
 )
 
 // runExperiment executes the experiment once per benchmark iteration
@@ -110,3 +112,30 @@ func BenchmarkE21SparseMatMul(b *testing.B) { runExperiment(b, "E21") }
 func BenchmarkE22BigJoin(b *testing.B)      { runExperiment(b, "E22") }
 func BenchmarkE23ShareSweep(b *testing.B)   { runExperiment(b, "E23") }
 func BenchmarkA07BigJoinOrder(b *testing.B) { runExperiment(b, "A07") }
+
+// BenchmarkMPCShuffle times the simulator's round engine through the
+// public API: a fixed cluster-wide volume hash-shuffled every round,
+// swept over the cluster sizes where delivery overhead dominates.
+func BenchmarkMPCShuffle(b *testing.B) {
+	const tuples = 1 << 17
+	for _, p := range []int{8, 64, 256} {
+		b.Run("p"+strconv.Itoa(p), func(b *testing.B) {
+			c := mpc.NewCluster(p, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Round("shuffle", func(s *mpc.Server, out *mpc.Out) {
+					st := out.Open("M", "a", "b")
+					per := tuples / s.P()
+					for j := 0; j < per; j++ {
+						st.Send((j+s.ID())%s.P(), relation.Value(j), relation.Value(s.ID()))
+					}
+				})
+				b.StopTimer()
+				c.DeleteAll("M")
+				c.ResetMetrics()
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchcheck compares `go test -bench` output against the committed
+// BENCH_BASELINE.json and fails when any benchmark regresses past the
+// ratio threshold. It is the CI bench-smoke gate: the smoke lane runs
+// every delivery-path benchmark once (-benchtime 1x) and pipes the
+// output here, so engine regressions fail loudly instead of drifting in
+// silently. Benchmarks absent from the baseline (new ones) and baseline
+// entries not exercised by the run (other packages) are reported but
+// never fatal — only a measured regression fails the check.
+
+// baselineFile mirrors the committed BENCH_BASELINE.json schema.
+type baselineFile struct {
+	Description string          `json:"description"`
+	Benchmarks  []baselineEntry `json:"benchmarks"`
+}
+
+type baselineEntry struct {
+	Package string  `json:"package"`
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// parseBenchOutput extracts (package, benchmark) -> ns/op from `go test
+// -bench` text output. Benchmark names carry a -GOMAXPROCS suffix that
+// is stripped to match baseline names.
+func parseBenchOutput(r io.Reader) (map[[2]string]float64, error) {
+	out := map[[2]string]float64{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Expect: Name-N  iterations  ns  "ns/op"  [...]
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		out[[2]string{pkg, name}] = ns
+	}
+	return out, sc.Err()
+}
+
+// runBenchCheck returns the number of regressions (benchmarks slower
+// than maxRatio × baseline) and prints a comparison report to w.
+func runBenchCheck(w io.Writer, baselinePath, benchOutPath string, maxRatio float64) (int, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return 0, fmt.Errorf("read baseline: %w", err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return 0, fmt.Errorf("parse baseline: %w", err)
+	}
+	var in io.Reader = os.Stdin
+	if benchOutPath != "" && benchOutPath != "-" {
+		f, err := os.Open(benchOutPath)
+		if err != nil {
+			return 0, fmt.Errorf("open bench output: %w", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBenchOutput(in)
+	if err != nil {
+		return 0, fmt.Errorf("parse bench output: %w", err)
+	}
+
+	baseline := map[[2]string]float64{}
+	for _, e := range base.Benchmarks {
+		baseline[[2]string{e.Package, e.Name}] = e.NsPerOp
+	}
+	regressions, compared, unknown := 0, 0, 0
+	for _, e := range base.Benchmarks {
+		key := [2]string{e.Package, e.Name}
+		ns, ok := measured[key]
+		if !ok || e.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		ratio := ns / e.NsPerOp
+		status := "ok"
+		if ratio > maxRatio {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-11s %-34s %-28s %12.0f ns baseline %12.0f ns ratio %.2f\n",
+			status, e.Package, e.Name, ns, e.NsPerOp, ratio)
+	}
+	for key := range measured {
+		if _, ok := baseline[key]; !ok {
+			unknown++
+		}
+	}
+	fmt.Fprintf(w, "benchcheck: %d compared, %d regressions (threshold %.1fx), %d benchmarks not in baseline\n",
+		compared, regressions, maxRatio, unknown)
+	return regressions, nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: mpcquery/internal/mpc
+cpu: some CPU
+BenchmarkRound/p8-4         	     100	   1500000 ns/op	 2200000 B/op	      79 allocs/op
+BenchmarkDeliver/p256-4     	      50	   2400000 ns/op
+PASS
+ok  	mpcquery/internal/mpc	1.234s
+pkg: mpcquery/internal/join2
+BenchmarkHashJoin/p8-4      	      10	   9000000 ns/op
+--- BENCH: garbage line that should be ignored
+BenchmarkBroken notanumber ns/op
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]string]float64{
+		{"mpcquery/internal/mpc", "BenchmarkRound/p8"}:      1500000,
+		{"mpcquery/internal/mpc", "BenchmarkDeliver/p256"}:  2400000,
+		{"mpcquery/internal/join2", "BenchmarkHashJoin/p8"}: 9000000,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d entries, want %d: %v", len(got), len(want), got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%v = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestRunBenchCheck(t *testing.T) {
+	dir := t.TempDir()
+	baselinePath := filepath.Join(dir, "baseline.json")
+	benchPath := filepath.Join(dir, "bench.txt")
+	baselineJSON := `{
+	  "description": "test",
+	  "benchmarks": [
+	    {"package": "mpcquery/internal/mpc", "name": "BenchmarkRound/p8", "ns_per_op": 1000000},
+	    {"package": "mpcquery/internal/mpc", "name": "BenchmarkDeliver/p256", "ns_per_op": 2000000},
+	    {"package": "mpcquery/internal/sortmpc", "name": "BenchmarkNotRun/p8", "ns_per_op": 1}
+	  ]
+	}`
+	if err := os.WriteFile(baselinePath, []byte(baselineJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchPath, []byte(sampleBenchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round/p8 is 1.5x baseline, Deliver/p256 is 1.2x: both pass at 3x.
+	var out strings.Builder
+	regressions, err := runBenchCheck(&out, baselinePath, benchPath, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", regressions, out.String())
+	}
+	if !strings.Contains(out.String(), "2 compared") {
+		t.Fatalf("report should compare exactly the 2 measured baseline entries:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "1 benchmarks not in baseline") {
+		t.Fatalf("report should count the un-baselined join2 benchmark:\n%s", out.String())
+	}
+
+	// At a 1.3x threshold Round/p8 (ratio 1.5) regresses.
+	out.Reset()
+	regressions, err = runBenchCheck(&out, baselinePath, benchPath, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regressions, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("report should flag the regression:\n%s", out.String())
+	}
+}

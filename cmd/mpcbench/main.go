@@ -7,6 +7,13 @@
 //	mpcbench -run E07,E10    # run a subset
 //	mpcbench -markdown       # emit GitHub-flavored markdown (EXPERIMENTS.md body)
 //	mpcbench -list           # list experiment IDs and titles
+//
+// It also carries the CI benchmark gate:
+//
+//	go test -bench . -benchtime 1x ./... | mpcbench -benchcheck -
+//
+// which compares each benchmark's ns/op against BENCH_BASELINE.json and
+// exits non-zero when any exceeds -maxratio times its baseline.
 package main
 
 import (
@@ -23,7 +30,22 @@ func main() {
 	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	markdown := flag.Bool("markdown", false, "emit markdown instead of aligned text")
 	list := flag.Bool("list", false, "list experiments and exit")
+	benchCheck := flag.String("benchcheck", "", "compare `go test -bench` output (file path, or - for stdin) against the baseline and exit non-zero on regressions")
+	baseline := flag.String("baseline", "BENCH_BASELINE.json", "baseline file for -benchcheck")
+	maxRatio := flag.Float64("maxratio", 3.0, "fail -benchcheck when measured ns/op exceeds this multiple of baseline")
 	flag.Parse()
+
+	if *benchCheck != "" {
+		regressions, err := runBenchCheck(os.Stdout, *baseline, *benchCheck, *maxRatio)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcbench: %v\n", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All {

@@ -26,6 +26,24 @@ func BenchmarkHyperCubeTriangle(b *testing.B) {
 	}
 }
 
+// BenchmarkHypercube sweeps the hypercube triangle join over the
+// delivery-bound cluster sizes (non-cube p exercises share rounding).
+func BenchmarkHypercube(b *testing.B) {
+	const nv, ne = 3000, 30000
+	r, s, u := workload.TriangleInput(nv, ne, 7)
+	rels := map[string]*relation.Relation{"R": r, "S": s, "T": u}
+	for _, p := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := mpc.NewCluster(p, 1)
+				if _, err := Run(c, hypergraph.Triangle(), rels, "out", 42, LocalGeneric); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSkewHCTriangle(b *testing.B) {
 	const k = 2048
 	r := relation.New("R", "x", "y")

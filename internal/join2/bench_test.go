@@ -13,7 +13,7 @@ import (
 
 func benchJoin(b *testing.B, run func(c *mpc.Cluster, r, s *relation.Relation)) {
 	const n = 20000
-	for _, p := range []int{8, 32} {
+	for _, p := range []int{8, 64, 256} {
 		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
 			r := workload.Uniform("R", []string{"x", "y"}, n, n/2, 1)
 			s := workload.Uniform("S", []string{"y", "z"}, n, n/2, 2)

@@ -1,0 +1,79 @@
+package mpc
+
+import (
+	"fmt"
+	"testing"
+
+	"mpcquery/internal/relation"
+)
+
+// Delivery-path micro-benchmarks. The workload is a shuffle: a fixed
+// cluster-wide tuple volume, split evenly across source servers, each
+// source spraying its share round-robin over all destinations — the
+// access pattern of every hash-partition round, and the regime where
+// per-(src,dst) chunks shrink as p grows (4 tuples per chunk at p=256).
+const (
+	benchTuples = 1 << 17 // cluster-wide tuples per round
+	benchArity  = 2
+)
+
+var benchPs = []int{8, 64, 256}
+
+// benchFill opens one stream on out and sends src's share of the
+// shuffle to all destinations.
+func benchFill(s *Server, out *Out) {
+	st := out.Open("M", "a", "b")
+	per := benchTuples / s.P()
+	for i := 0; i < per; i++ {
+		st.Send((i+s.ID())%s.P(), relation.Value(i), relation.Value(s.ID()))
+	}
+}
+
+// BenchmarkRound times a full communication round: parallel compute
+// (the send loop) plus delivery and metering.
+func BenchmarkRound(b *testing.B) {
+	for _, p := range benchPs {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			c := NewCluster(p, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Round("shuffle", benchFill)
+				b.StopTimer()
+				c.DeleteAll("M")
+				c.ResetMetrics()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkDeliver isolates the delivery path: outs are built once and
+// reused (deliver only reads them), so the timed region is exactly
+// "move every fragment into its destination server and meter it".
+func BenchmarkDeliver(b *testing.B) {
+	for _, p := range benchPs {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			c := NewCluster(p, 1)
+			outs := benchOuts(c)
+			for i := 0; i < p; i++ {
+				benchFill(c.servers[i], outs[i])
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.deliver("shuffle", outs)
+				b.StopTimer()
+				c.DeleteAll("M")
+				c.ResetMetrics()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// benchOuts returns the cluster's pooled round buffers, exactly the
+// ones Round would hand to compute.
+func benchOuts(c *Cluster) []*Out {
+	return c.roundOuts()
+}

@@ -1,0 +1,15 @@
+package mpc
+
+// Test-only knobs, exported for the external (package mpc_test)
+// equivalence suites.
+
+// SetReferenceDelivery switches the cluster to the historical
+// single-threaded, row-by-row delivery loop. It is the referee for the
+// fast path: metering and delivered fragments must be bit-for-bit
+// identical between the two implementations.
+func (c *Cluster) SetReferenceDelivery(v bool) { c.refDeliver = v }
+
+// SetDeliveryWorkers pins the delivery worker count (0 restores the
+// GOMAXPROCS-based default), so tests can exercise genuinely concurrent
+// delivery even on single-CPU machines.
+func (c *Cluster) SetDeliveryWorkers(n int) { c.deliverWorkers = n }

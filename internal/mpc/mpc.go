@@ -12,13 +12,28 @@
 // is a statement about (L, r, C). Each server's per-round computation
 // runs on its own goroutine, so the simulation is also genuinely
 // parallel.
+//
+// The delivery path is the simulator's hot loop: every tuple an
+// algorithm communicates passes through it exactly once. It is built
+// around three invariants that hold regardless of how delivery is
+// scheduled internally:
+//
+//  1. metering is exact — (L, r, C) are identical whatever the delivery
+//     concurrency, because tuple counts are tracked per send;
+//  2. delivery order is canonical — per destination, fragments land by
+//     source server, then stream creation order, then send order, so
+//     simulations are bit-for-bit reproducible;
+//  3. round buffers are pooled — Out/stream slabs are reused across
+//     rounds, so steady-state rounds allocate almost nothing.
 package mpc
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mpcquery/internal/relation"
 )
@@ -29,6 +44,18 @@ type Cluster struct {
 	seed    int64
 	servers []*Server
 	metrics *Metrics
+
+	// outs holds the pooled per-server round buffers; they are created
+	// on the first Round and reset (capacity retained) after each one.
+	outs []*Out
+	// refDeliver switches deliver to the row-by-row reference
+	// implementation (test-only; see export_test.go). It exists so the
+	// metering-equivalence suite can prove the fast path changes
+	// nothing observable.
+	refDeliver bool
+	// deliverWorkers overrides the delivery worker count (test-only;
+	// 0 means min(p, GOMAXPROCS)).
+	deliverWorkers int
 }
 
 // NewCluster creates a cluster of p servers. The seed drives all
@@ -44,10 +71,24 @@ func NewCluster(p int, seed int64) *Cluster {
 			id:   i,
 			p:    p,
 			rels: map[string]*relation.Relation{},
-			rng:  rand.New(rand.NewSource(seed ^ int64(uint64(i+1)*0x9e3779b97f4a7c15>>1))),
+			rng:  rand.New(rand.NewSource(mixSeed(seed, i))),
 		}
 	}
 	return c
+}
+
+// mixSeed derives server i's RNG seed from the cluster seed with a
+// splitmix64 finalizer. The full finalizer matters: a single xor-shift
+// of the golden-ratio multiple correlates the low bits of nearby
+// (seed, i) pairs, which showed up as correlated routing decisions
+// across servers.
+func mixSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // P returns the number of servers.
@@ -111,19 +152,42 @@ func (s *Server) RelNames() []string {
 }
 
 // stream accumulates tuples sent to each destination under one relation
-// name within a round.
+// name within a round. Tuple counts are tracked per send rather than
+// derived as len(flat)/arity, so arity-0 streams (decision-query
+// results) are delivered and metered like any other.
 type stream struct {
 	name   string
 	attrs  []string
 	perDst [][]relation.Value // perDst[dst] = flat rows
+	counts []int64            // counts[dst] = tuples sent to dst
 }
 
 // Out buffers the messages one server emits during a round. It is not
-// safe for concurrent use; each server gets its own.
+// safe for concurrent use; each server gets its own. Outs are pooled by
+// the cluster: after delivery each stream's slabs are truncated
+// (capacity retained) and parked in spare for the next round.
 type Out struct {
 	p       int
 	streams map[string]*stream
-	order   []string // stream creation order for deterministic delivery
+	order   []string           // stream creation order for deterministic delivery
+	spare   map[string]*stream // reset streams from prior rounds, by name
+}
+
+// reset parks every open stream for reuse. Called by the cluster after
+// delivery; the compute goroutine that wrote the Out has exited.
+func (o *Out) reset() {
+	for name, st := range o.streams {
+		for d := range st.perDst {
+			st.perDst[d] = st.perDst[d][:0]
+			st.counts[d] = 0
+		}
+		if o.spare == nil {
+			o.spare = map[string]*stream{}
+		}
+		o.spare[name] = st
+		delete(o.streams, name)
+	}
+	o.order = o.order[:0]
 }
 
 // Stream is a typed channel for sending tuples of one relation to other
@@ -135,15 +199,38 @@ type Stream struct {
 
 // Open declares (or reopens) an output relation with the given schema.
 // All tuples sent on the stream are delivered into a relation of that
-// name on each destination server when the round ends.
+// name on each destination server when the round ends. Reopening a
+// stream within a round requires the exact same schema — same arity and
+// same attribute names — otherwise two different schemas would silently
+// merge into one delivered relation.
 func (o *Out) Open(name string, attrs ...string) *Stream {
 	if st, ok := o.streams[name]; ok {
 		if len(st.attrs) != len(attrs) {
-			panic(fmt.Sprintf("mpc: stream %s reopened with different arity", name))
+			panic(fmt.Sprintf("mpc: stream %s reopened with arity %d, want %d", name, len(attrs), len(st.attrs)))
+		}
+		for i, a := range attrs {
+			if st.attrs[i] != a {
+				panic(fmt.Sprintf("mpc: stream %s reopened with attribute %q at position %d, want %q",
+					name, a, i, st.attrs[i]))
+			}
 		}
 		return &Stream{out: o, st: st}
 	}
-	st := &stream{name: name, attrs: append([]string(nil), attrs...), perDst: make([][]relation.Value, o.p)}
+	if st, ok := o.spare[name]; ok {
+		// Reuse the parked stream's slabs; the schema is whatever this
+		// round declares.
+		delete(o.spare, name)
+		st.attrs = append(st.attrs[:0], attrs...)
+		o.streams[name] = st
+		o.order = append(o.order, name)
+		return &Stream{out: o, st: st}
+	}
+	st := &stream{
+		name:   name,
+		attrs:  append([]string(nil), attrs...),
+		perDst: make([][]relation.Value, o.p),
+		counts: make([]int64, o.p),
+	}
 	o.streams[name] = st
 	o.order = append(o.order, name)
 	return &Stream{out: o, st: st}
@@ -158,6 +245,7 @@ func (s *Stream) Send(dst int, vals ...relation.Value) {
 		panic(fmt.Sprintf("mpc: stream %s send arity %d, want %d", s.st.name, len(vals), len(s.st.attrs)))
 	}
 	s.st.perDst[dst] = append(s.st.perDst[dst], vals...)
+	s.st.counts[dst]++
 }
 
 // SendRow routes one tuple (as a slice) to server dst.
@@ -172,17 +260,28 @@ func (s *Stream) Broadcast(vals ...relation.Value) {
 	}
 }
 
+// roundOuts returns the cluster's pooled per-server round buffers,
+// creating them on first use.
+func (c *Cluster) roundOuts() []*Out {
+	if c.outs == nil {
+		c.outs = make([]*Out, c.p)
+		for i := range c.outs {
+			c.outs[i] = &Out{p: c.p, streams: map[string]*stream{}, spare: map[string]*stream{}}
+		}
+	}
+	return c.outs
+}
+
 // Round executes one MPC round: every server runs compute on its own
 // goroutine, then all emitted messages are delivered and metered. The
 // name labels the round in metric reports. Messages are delivered in a
 // canonical order (by source server, then stream creation order, then
 // send order) so simulations are bit-for-bit reproducible.
 func (c *Cluster) Round(name string, compute func(s *Server, out *Out)) {
-	outs := make([]*Out, c.p)
+	outs := c.roundOuts()
 	var wg sync.WaitGroup
 	panics := make([]any, c.p)
 	for i := 0; i < c.p; i++ {
-		outs[i] = &Out{p: c.p, streams: map[string]*stream{}}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -195,6 +294,13 @@ func (c *Cluster) Round(name string, compute func(s *Server, out *Out)) {
 		}(i)
 	}
 	wg.Wait()
+	// All compute goroutines have exited; recycle the round buffers on
+	// every exit path (including panics) so the pool is never dirty.
+	defer func() {
+		for _, o := range outs {
+			o.reset()
+		}
+	}()
 	for i, p := range panics {
 		if p != nil {
 			panic(fmt.Sprintf("mpc: round %q: server %d panicked: %v", name, i, p))
@@ -203,31 +309,203 @@ func (c *Cluster) Round(name string, compute func(s *Server, out *Out)) {
 	c.deliver(name, outs)
 }
 
-// deliver moves round outputs into destination servers and records
-// load metrics.
+// deliver moves round outputs into destination servers and records load
+// metrics. Destinations are independent — server dst's inbox is the
+// concatenation of fragments addressed to dst, in canonical order — so
+// delivery fans out across worker goroutines, each owning a disjoint
+// set of destinations.
 func (c *Cluster) deliver(name string, outs []*Out) {
 	recv := make([]int64, c.p)
 	recvWords := make([]int64, c.p)
+	if c.refDeliver {
+		c.deliverReference(name, outs, recv, recvWords)
+		c.metrics.record(name, recv, recvWords)
+		return
+	}
+	workers := c.deliverWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > c.p {
+		workers = c.p
+	}
+	// Plan the round before moving a single tuple. The prepass resolves
+	// stream handles once per (source, stream) and, once per distinct
+	// stream name, sums per-destination tuple/word totals, validates
+	// schemas, creates every receiving relation, and presizes it with
+	// one exact reservation. That leaves the per-fragment hot loop as
+	// pure metering plus one bulk copy — no map lookups, no schema
+	// checks, no append growth. At p=256 a shuffle round has 65536
+	// fragments but typically a handful of names.
+	plans := map[string]*deliverPlan{}
+	resolved := make([][]deliverStream, c.p)
+	for src := 0; src < c.p; src++ {
+		out := outs[src]
+		sts := make([]deliverStream, len(out.order))
+		for i, stName := range out.order {
+			st := out.streams[stName]
+			plan, ok := plans[stName]
+			if !ok {
+				plan = &deliverPlan{
+					attrs:  st.attrs,
+					rels:   make([]*relation.Relation, c.p),
+					tuples: make([]int64, c.p),
+					words:  make([]int, c.p),
+				}
+				for dst := range plan.rels {
+					plan.rels[dst] = c.servers[dst].rels[stName]
+				}
+				plans[stName] = plan
+			} else if !attrsEqual(plan.attrs, st.attrs) {
+				panic(fmt.Sprintf("mpc: round %q stream %s declared with attrs %v by one server and %v by another",
+					name, stName, plan.attrs, st.attrs))
+			}
+			for dst := 0; dst < c.p; dst++ {
+				plan.tuples[dst] += st.counts[dst]
+				plan.words[dst] += len(st.perDst[dst])
+			}
+			sts[i] = deliverStream{st: st, dstRels: plan.rels}
+		}
+		resolved[src] = sts
+	}
+	for stName, plan := range plans {
+		for dst := 0; dst < c.p; dst++ {
+			if plan.tuples[dst] == 0 {
+				continue
+			}
+			dstRel := plan.rels[dst]
+			if dstRel == nil {
+				dstRel = relation.New(stName, plan.attrs...)
+				c.servers[dst].rels[stName] = dstRel
+				plan.rels[dst] = dstRel
+			} else if !attrsEqual(dstRel.Attrs(), plan.attrs) {
+				panic(fmt.Sprintf("mpc: round %q delivers %s with attrs %v into existing attrs %v",
+					name, stName, plan.attrs, dstRel.Attrs()))
+			}
+			dstRel.Grow(plan.words[dst])
+		}
+	}
+	if workers <= 1 {
+		for src := 0; src < c.p; src++ {
+			// Source-major like the historical loop: cache-friendly slab
+			// walks, and per destination the same canonical order as the
+			// concurrent path.
+			for i := range resolved[src] {
+				ds := &resolved[src][i]
+				for dst := 0; dst < c.p; dst++ {
+					ds.deliverTo(dst, recv, recvWords)
+				}
+			}
+		}
+		c.metrics.record(name, recv, recvWords)
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	panics := make([]any, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[w] = r
+				}
+			}()
+			for {
+				dst := int(next.Add(1))
+				if dst >= c.p {
+					return
+				}
+				c.deliverDst(resolved, dst, recv, recvWords)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	c.metrics.record(name, recv, recvWords)
+}
+
+// deliverPlan is the driver-side prepass result for one stream name:
+// the shared schema, per-destination totals, and the destination
+// relations (created and presized before delivery starts).
+type deliverPlan struct {
+	attrs  []string
+	rels   []*relation.Relation
+	tuples []int64
+	words  []int
+}
+
+// deliverStream pairs a source's stream with the shared per-destination
+// relation array for its name. dstRels is shared across sources and
+// workers; after the prepass it is read-only, and entry dst is only
+// appended to by dst's deliverer.
+type deliverStream struct {
+	st      *stream
+	dstRels []*relation.Relation
+}
+
+// deliverTo lands this stream's dst fragment: meter it and append the
+// slab in one copy. The prepass guarantees dstRels[dst] exists and is
+// schema-checked whenever the fragment is non-empty.
+func (ds *deliverStream) deliverTo(dst int, recv, recvWords []int64) {
+	st := ds.st
+	n := st.counts[dst]
+	if n == 0 {
+		return
+	}
+	flat := st.perDst[dst]
+	recv[dst] += n
+	recvWords[dst] += int64(len(flat))
+	ds.dstRels[dst].AppendFlat(flat, int(n))
+}
+
+// deliverDst delivers everything addressed to one destination: for each
+// source in order, for each stream in creation order, append the flat
+// fragment in one bulk copy. Only dst's inbox, relations, and metric
+// slots are touched, so concurrent calls for distinct dst never race.
+func (c *Cluster) deliverDst(resolved [][]deliverStream, dst int, recv, recvWords []int64) {
+	for src := 0; src < c.p; src++ {
+		for i := range resolved[src] {
+			resolved[src][i].deliverTo(dst, recv, recvWords)
+		}
+	}
+}
+
+// deliverReference is the historical single-threaded, row-by-row
+// delivery loop, kept as the referee for the fast path: the
+// metering-equivalence tests assert that both implementations produce
+// identical RoundStats and bit-for-bit identical fragments.
+func (c *Cluster) deliverReference(name string, outs []*Out, recv, recvWords []int64) {
 	for src := 0; src < c.p; src++ {
 		out := outs[src]
 		for _, stName := range out.order {
 			st := out.streams[stName]
 			arity := len(st.attrs)
 			for dst := 0; dst < c.p; dst++ {
-				flat := st.perDst[dst]
-				if len(flat) == 0 {
+				n := st.counts[dst]
+				if n == 0 {
 					continue
 				}
-				tuples := int64(len(flat) / arity)
-				recv[dst] += tuples
+				flat := st.perDst[dst]
+				recv[dst] += n
 				recvWords[dst] += int64(len(flat))
 				dstRel := c.servers[dst].rels[st.name]
 				if dstRel == nil {
 					dstRel = relation.New(st.name, st.attrs...)
 					c.servers[dst].rels[st.name] = dstRel
-				} else if dstRel.Arity() != arity {
-					panic(fmt.Sprintf("mpc: round %q delivers %s with arity %d into existing arity %d",
-						name, st.name, arity, dstRel.Arity()))
+				} else if !attrsEqual(dstRel.Attrs(), st.attrs) {
+					panic(fmt.Sprintf("mpc: round %q delivers %s with attrs %v into existing attrs %v",
+						name, st.name, st.attrs, dstRel.Attrs()))
+				}
+				if arity == 0 {
+					dstRel.AppendFlat(nil, int(n))
+					continue
 				}
 				for off := 0; off < len(flat); off += arity {
 					dstRel.AppendRow(flat[off : off+arity])
@@ -235,7 +513,18 @@ func (c *Cluster) deliver(name string, outs []*Out) {
 			}
 		}
 	}
-	c.metrics.record(name, recv, recvWords)
+}
+
+func attrsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // LocalStep runs compute on every server (in parallel) without any
@@ -305,7 +594,9 @@ func (c *Cluster) ScatterByHash(rel *relation.Relation, attrs []string, seed uin
 
 // Gather collects the union of the named relation's fragments from all
 // servers into one relation. It is a driver-side verification helper
-// and is not metered.
+// and is not metered. Every fragment must carry the same schema; a
+// mismatch means two different relations were stored under one name,
+// and concatenating them would silently produce garbage.
 func (c *Cluster) Gather(name string) *relation.Relation {
 	var out *relation.Relation
 	for _, s := range c.servers {
@@ -315,6 +606,9 @@ func (c *Cluster) Gather(name string) *relation.Relation {
 		}
 		if out == nil {
 			out = relation.New(name, f.Attrs()...)
+		} else if !attrsEqual(out.Attrs(), f.Attrs()) {
+			panic(fmt.Sprintf("mpc: gather %q: server %d fragment has attrs %v, earlier fragments have %v",
+				name, s.id, f.Attrs(), out.Attrs()))
 		}
 		out.AppendAll(f)
 	}

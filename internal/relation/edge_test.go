@@ -16,30 +16,63 @@ func mustPanicR(t *testing.T, what string, f func()) {
 	f()
 }
 
-// TestZeroAritySchemas pins that zero-arity relations are construction
-// errors everywhere: the MPC load metering divides by arity, so an
-// arity-0 relation would be meaningless.
+// TestZeroAritySchemas pins the nullary-relation contract: arity-0
+// relations are legal (they carry decision-query results as a
+// multiplicity of the empty tuple), store no words, and behave as
+// proper bags under append, projection, selection, and dedup.
 func TestZeroAritySchemas(t *testing.T) {
-	tests := []struct {
-		name string
-		f    func()
-	}{
-		{"New with empty schema", func() { New("R") }},
-		{"FromRows with empty schema", func() { FromRows("R", nil, nil) }},
-		{"Project to zero attributes keeps rows", func() {
-			r := FromRows("R", []string{"x"}, [][]Value{{1}})
-			r.Project("p") // zero-column projection of a non-empty relation
-		}},
-	}
-	for _, tc := range tests {
-		t.Run(tc.name, func(t *testing.T) {
-			mustPanicR(t, tc.name, tc.f)
-		})
-	}
-	// Zero-arity *tuples* (appending the wrong arity) are also rejected.
+	t.Run("New with empty schema", func(t *testing.T) {
+		r := New("R")
+		if r.Arity() != 0 || r.Len() != 0 || r.Words() != 0 {
+			t.Fatalf("fresh nullary relation: arity=%d len=%d words=%d", r.Arity(), r.Len(), r.Words())
+		}
+		r.Append()
+		r.AppendRow(nil)
+		r.AppendFlat(nil, 3)
+		if r.Len() != 5 || r.Words() != 0 {
+			t.Fatalf("after appends: len=%d words=%d, want 5/0", r.Len(), r.Words())
+		}
+		if row := r.Row(2); len(row) != 0 {
+			t.Fatalf("nullary row has %d values", len(row))
+		}
+		c := r.Clone()
+		if c.Len() != 5 {
+			t.Fatalf("clone len = %d", c.Len())
+		}
+		c.AppendAll(r)
+		if c.Len() != 10 {
+			t.Fatalf("appendAll len = %d", c.Len())
+		}
+		sel := r.Select("s", func([]Value) bool { return true })
+		if sel.Len() != 5 {
+			t.Fatalf("select len = %d", sel.Len())
+		}
+		r.Dedup()
+		if r.Len() != 1 {
+			t.Fatalf("dedup left %d copies of the empty tuple", r.Len())
+		}
+		if !r.EqualAsSets(c) {
+			t.Fatal("nullary EqualAsSets must ignore multiplicity")
+		}
+		mustPanicR(t, "appendFlat words into arity 0", func() { r.AppendFlat([]Value{1}, 1) })
+	})
+	t.Run("FromRows with empty schema", func(t *testing.T) {
+		if r := FromRows("R", nil, nil); r.Arity() != 0 || r.Len() != 0 {
+			t.Fatalf("arity=%d len=%d", r.Arity(), r.Len())
+		}
+	})
+	t.Run("Project to zero attributes keeps rows", func(t *testing.T) {
+		r := FromRows("R", []string{"x"}, [][]Value{{1}, {2}, {2}})
+		p := r.Project("p") // the decision-query projection
+		if p.Arity() != 0 || p.Len() != 3 {
+			t.Fatalf("arity=%d len=%d, want 0/3", p.Arity(), p.Len())
+		}
+	})
+	// Wrong-arity appends are still rejected.
 	r := New("R", "x", "y")
 	mustPanicR(t, "append arity 0", func() { r.Append() })
 	mustPanicR(t, "append arity 1", func() { r.Append(1) })
+	mustPanicR(t, "appendFlat word mismatch", func() { r.AppendFlat([]Value{1, 2, 3}, 2) })
 }
 
 // TestEmptyRelations: every operator must treat an empty relation as a

@@ -23,19 +23,23 @@ type Value = int64
 
 // Relation is a named bag of tuples with a fixed schema. Attribute names
 // drive natural joins: two relations join on the attributes they share.
+//
+// A relation may have arity 0 (a nullary relation): its tuples carry no
+// values, so only their multiplicity is stored. Nullary relations are
+// the result type of boolean/decision queries — "is the answer
+// non-empty" is a relation holding zero or more copies of the empty
+// tuple — and the MPC engine delivers and meters them like any other.
 type Relation struct {
 	name  string
 	attrs []string
 	data  []Value // row-major, len = arity * rows
+	nrows int     // row count when arity == 0 (data stays empty)
 }
 
 // New returns an empty relation with the given name and attribute names.
-// It panics if attrs is empty or contains duplicates, since such schemas
-// are always construction bugs.
+// It panics on duplicate attributes, since such schemas are always
+// construction bugs. An empty attrs list constructs a nullary relation.
 func New(name string, attrs ...string) *Relation {
-	if len(attrs) == 0 {
-		panic("relation: empty schema for " + name)
-	}
 	seen := make(map[string]bool, len(attrs))
 	for _, a := range attrs {
 		if seen[a] {
@@ -73,6 +77,9 @@ func (r *Relation) Arity() int { return len(r.attrs) }
 
 // Len returns the number of tuples.
 func (r *Relation) Len() int {
+	if len(r.attrs) == 0 {
+		return r.nrows
+	}
 	return len(r.data) / len(r.attrs)
 }
 
@@ -85,6 +92,10 @@ func (r *Relation) Append(vals ...Value) {
 	if len(vals) != len(r.attrs) {
 		panic(fmt.Sprintf("relation %s: append arity %d, want %d", r.name, len(vals), len(r.attrs)))
 	}
+	if len(r.attrs) == 0 {
+		r.nrows++
+		return
+	}
 	r.data = append(r.data, vals...)
 }
 
@@ -96,7 +107,38 @@ func (r *Relation) AppendAll(s *Relation) {
 	if len(s.attrs) != len(r.attrs) {
 		panic(fmt.Sprintf("relation %s: appendAll arity mismatch with %s", r.name, s.name))
 	}
+	r.nrows += s.nrows
 	r.data = append(r.data, s.data...)
+}
+
+// Grow reserves capacity for at least words more values, so a known
+// upcoming volume of appends performs at most one reallocation.
+func (r *Relation) Grow(words int) {
+	if cap(r.data)-len(r.data) < words {
+		nd := make([]Value, len(r.data), len(r.data)+words)
+		copy(nd, r.data)
+		r.data = nd
+	}
+}
+
+// AppendFlat appends tuples rows stored row-major in flat, in one bulk
+// copy. This is the MPC delivery engine's hot path: one bounds check
+// and one copy per fragment instead of one call per row. For nullary
+// relations flat must be empty and only the count is added.
+func (r *Relation) AppendFlat(flat []Value, tuples int) {
+	k := len(r.attrs)
+	if k == 0 {
+		if len(flat) != 0 {
+			panic(fmt.Sprintf("relation %s: appendFlat %d words into arity 0", r.name, len(flat)))
+		}
+		r.nrows += tuples
+		return
+	}
+	if len(flat) != tuples*k {
+		panic(fmt.Sprintf("relation %s: appendFlat %d words for %d tuples of arity %d",
+			r.name, len(flat), tuples, k))
+	}
+	r.data = append(r.data, flat...)
 }
 
 // Row returns tuple i as a view into the underlying storage. Callers must
@@ -129,6 +171,7 @@ func (r *Relation) MustCol(attr string) int {
 func (r *Relation) Clone() *Relation {
 	out := New(r.name, r.attrs...)
 	out.data = append([]Value(nil), r.data...)
+	out.nrows = r.nrows
 	return out
 }
 
@@ -144,6 +187,12 @@ func (r *Relation) Project(name string, attrs ...string) *Relation {
 		cols[i] = r.MustCol(a)
 	}
 	out := New(name, attrs...)
+	if len(attrs) == 0 {
+		// Projection to zero attributes keeps each row as one copy of
+		// the empty tuple — the decision-query projection.
+		out.nrows = r.Len()
+		return out
+	}
 	n := r.Len()
 	for i := 0; i < n; i++ {
 		row := r.Row(i)
@@ -157,6 +206,14 @@ func (r *Relation) Project(name string, attrs ...string) *Relation {
 // Select returns the tuples satisfying pred.
 func (r *Relation) Select(name string, pred func(row []Value) bool) *Relation {
 	out := New(name, r.attrs...)
+	if len(r.attrs) == 0 {
+		for i := 0; i < r.nrows; i++ {
+			if pred(nil) {
+				out.nrows++
+			}
+		}
+		return out
+	}
 	n := r.Len()
 	for i := 0; i < n; i++ {
 		row := r.Row(i)
@@ -176,6 +233,9 @@ func (r *Relation) SelectEq(name, attr string, v Value) *Relation {
 // SortBy sorts r in place lexicographically by the given attributes,
 // breaking ties by the full tuple so the order is total and deterministic.
 func (r *Relation) SortBy(attrs ...string) {
+	if len(r.attrs) == 0 {
+		return // nullary: all tuples are the empty tuple
+	}
 	cols := make([]int, len(attrs))
 	for i, a := range attrs {
 		cols[i] = r.MustCol(a)
@@ -212,6 +272,12 @@ func (r *Relation) Sort() { r.SortBy(r.attrs...) }
 
 // Dedup sorts r and removes duplicate tuples in place.
 func (r *Relation) Dedup() {
+	if len(r.attrs) == 0 {
+		if r.nrows > 1 {
+			r.nrows = 1
+		}
+		return
+	}
 	r.Sort()
 	k := len(r.attrs)
 	n := r.Len()

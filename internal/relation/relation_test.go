@@ -6,7 +6,6 @@ import (
 )
 
 func TestNewPanics(t *testing.T) {
-	mustPanic(t, "empty schema", func() { New("R") })
 	mustPanic(t, "dup attr", func() { New("R", "x", "x") })
 }
 
