@@ -16,6 +16,13 @@
 // Algorithms: auto (default), hashjoin, broadcast, skewjoin, sortjoin,
 // hypercube, skewhc, gym, gym-opt, binaryplan, bigjoin, hl-triangle.
 // Skew: none (default), zipf, heavy.
+//
+// With -chaos seed[:key=rate,...] (e.g. -chaos 7:drop=0.1,crash=0.05)
+// the run executes under that deterministic fault schedule: faults are
+// injected at every round's delivery boundary and repaired by bounded
+// replay. A recovered run reports the exact output and (L, r, C) of the
+// fault-free run plus a recovery summary; an unrecovered one exits
+// non-zero with the spec that reproduces it.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mpcquery/internal/chaos"
 	"mpcquery/internal/core"
 	"mpcquery/internal/cost"
 	"mpcquery/internal/hypergraph"
@@ -42,6 +50,7 @@ func main() {
 	alg := flag.String("alg", "auto", "algorithm (auto, hashjoin, broadcast, skewjoin, sortjoin, hypercube, skewhc, gym, gym-opt, binaryplan, bigjoin, hl-triangle)")
 	skew := flag.String("skew", "none", "generated data skew: none, zipf, heavy")
 	seed := flag.Int64("seed", 1, "random seed")
+	chaosSpec := flag.String("chaos", "", "fault schedule seed[:drop=r,dup=r,crash=r,straggle=r,delay=n,persist=n,attempts=n]")
 	verbose := flag.Bool("verbose", false, "print per-round metrics")
 	flag.Parse()
 
@@ -67,11 +76,29 @@ func main() {
 		rels = generate(q, *n, *skew, *seed)
 	}
 	engine := core.NewEngine(*p, *seed)
-	exec, err := engine.Execute(core.Request{
-		Query:     q,
-		Relations: rels,
-		Algorithm: core.Algorithm(*alg),
+	var sched *chaos.Schedule
+	if *chaosSpec != "" {
+		sched, err = chaos.ParseSchedule(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpcrun:", err)
+			os.Exit(1)
+		}
+		engine.Chaos = sched
+	}
+	var exec *core.Execution
+	failure, err := chaos.Capture(func() error {
+		var execErr error
+		exec, execErr = engine.Execute(core.Request{
+			Query:     q,
+			Relations: rels,
+			Algorithm: core.Algorithm(*alg),
+		})
+		return execErr
 	})
+	if failure != nil {
+		fmt.Fprintln(os.Stderr, "mpcrun:", sched.Report(nil, failure))
+		os.Exit(1)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpcrun:", err)
 		os.Exit(1)
@@ -86,6 +113,9 @@ func main() {
 	fmt.Printf("output     %d tuples\n", exec.Output.Len())
 	fmt.Printf("cost       L = %d tuples/server/round, r = %d rounds, C = %d tuples total\n",
 		exec.MaxLoad, exec.Rounds, exec.TotalComm)
+	if sched != nil {
+		fmt.Printf("chaos      %s\n", sched.Report(exec.Metrics, nil))
+	}
 	sizes := map[string]int64{}
 	for _, a := range q.Atoms {
 		n := int64(rels[a.Name].Len())

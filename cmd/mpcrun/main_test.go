@@ -3,6 +3,7 @@ package main
 import (
 	"testing"
 
+	"mpcquery/internal/chaos"
 	"mpcquery/internal/core"
 	"mpcquery/internal/stats"
 )
@@ -84,6 +85,55 @@ func TestEndToEndViaEngine(t *testing.T) {
 	want.Dedup()
 	if !got.EqualAsSets(want) {
 		t.Fatal("engine output differs from reference")
+	}
+}
+
+// TestChaosViaEngine exercises the -chaos path main() drives: an
+// engine with a fault schedule attached must produce the same output
+// and (L, r, C) as the fault-free engine, and a schedule with a
+// permanent fault must surface a RecoveryFailure through chaos.Capture.
+func TestChaosViaEngine(t *testing.T) {
+	q, err := parseQuery("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := generate(q, 300, "none", 2)
+	clean := core.NewEngine(8, 1)
+	cleanExec, err := clean.Execute(core.Request{Query: q, Relations: rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engine := core.NewEngine(8, 1)
+	engine.Chaos = chaos.MustParseSchedule("7:drop=0.1,dup=0.05,crash=0.1,straggle=0.2")
+	var exec *core.Execution
+	failure, err := chaos.Capture(func() error {
+		var execErr error
+		exec, execErr = engine.Execute(core.Request{Query: q, Relations: rels})
+		return execErr
+	})
+	if failure != nil || err != nil {
+		t.Fatalf("chaos execution failed: %v / %v", failure, err)
+	}
+	if exec.MaxLoad != cleanExec.MaxLoad || exec.Rounds != cleanExec.Rounds || exec.TotalComm != cleanExec.TotalComm {
+		t.Fatalf("chaos (L,r,C) = (%d,%d,%d), fault-free (%d,%d,%d)",
+			exec.MaxLoad, exec.Rounds, exec.TotalComm, cleanExec.MaxLoad, cleanExec.Rounds, cleanExec.TotalComm)
+	}
+	got, want := exec.Output.Clone(), cleanExec.Output.Clone()
+	got.Dedup()
+	want.Dedup()
+	if !got.EqualAsSets(want) {
+		t.Fatal("chaos engine output differs from fault-free engine")
+	}
+
+	// Permanent faults (persist ≥ attempts) must fail loudly.
+	engine.Chaos = chaos.MustParseSchedule("7:drop=0.5,persist=4,attempts=3")
+	failure, err = chaos.Capture(func() error {
+		_, execErr := engine.Execute(core.Request{Query: q, Relations: rels})
+		return execErr
+	})
+	if failure == nil || err == nil {
+		t.Fatal("permanent-fault schedule did not surface a RecoveryFailure")
 	}
 }
 

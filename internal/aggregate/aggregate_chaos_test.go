@@ -1,0 +1,74 @@
+package aggregate
+
+import (
+	"testing"
+
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/testkit"
+)
+
+// Chaos-differential tests: grouped aggregation under seeded fault
+// schedules. Aggregation is bag-sensitive — a duplicate the
+// exactly-once filter failed to discard would change Sum/Count, and a
+// lost fragment would drop groups — so oracle equality here pins the
+// recovery driver's delivery semantics, not just its bookkeeping.
+
+func TestAggregateChaos(t *testing.T) {
+	for _, af := range aggFns {
+		af := af
+		t.Run(af.name, func(t *testing.T) {
+			testkit.SweepChaos(t, testkit.Config{}, func(t *testing.T, p int, seed int64, skew testkit.Skew, spec string) {
+				rel := testkit.GenRelation("R", []string{"g", "v"}, skew, testkit.GenConfig{Tuples: 200}, seed)
+				want := testkit.OracleGroupBy("out", rel, []string{"g"}, af.fn, "v", "a")
+				spec2 := Spec{
+					Rel: "R", GroupBy: []string{"g"}, Fn: af.fn,
+					AggAttr: "v", OutAttr: "a", OutRel: "out",
+					Seed: uint64(seed),
+				}
+
+				clean := mpc.NewCluster(p, seed)
+				clean.ScatterRoundRobin(rel)
+				if _, err := Run(clean, spec2); err != nil {
+					t.Fatalf("fault-free aggregate: %v", err)
+				}
+
+				c := testkit.NewChaosCluster(p, seed, spec)
+				c.ScatterRoundRobin(rel)
+				if _, err := Run(c, spec2); err != nil {
+					t.Fatalf("chaos aggregate: %v", err)
+				}
+				testkit.AssertRecovered(t, c)
+				testkit.AssertSameLRC(t, clean, c)
+				got := gatherAgg(c, "out", []string{"g", "a"})
+				if !testkit.BagEqual(got, want) {
+					t.Errorf("chaos run differs from oracle: %s", testkit.DiffSample(got, want))
+				}
+			})
+		})
+	}
+}
+
+// TestAggregateNoCombinerChaos: the raw-shuffle ablation ships one
+// fragment per input tuple group, the largest fragment population the
+// package can offer the injector.
+func TestAggregateNoCombinerChaos(t *testing.T) {
+	testkit.SweepChaos(t, testkit.Config{}, func(t *testing.T, p int, seed int64, skew testkit.Skew, spec string) {
+		rel := testkit.GenRelation("R", []string{"g", "v"}, skew, testkit.GenConfig{Tuples: 200}, seed)
+		want := testkit.OracleGroupBy("out", rel, []string{"g"}, relation.Sum, "v", "a")
+		c := testkit.NewChaosCluster(p, seed, spec)
+		c.ScatterRoundRobin(rel)
+		if _, err := Run(c, Spec{
+			Rel: "R", GroupBy: []string{"g"}, Fn: relation.Sum,
+			AggAttr: "v", OutAttr: "a", OutRel: "out",
+			Seed: uint64(seed), NoCombiner: true,
+		}); err != nil {
+			t.Fatalf("chaos aggregate: %v", err)
+		}
+		testkit.AssertRecovered(t, c)
+		got := gatherAgg(c, "out", []string{"g", "a"})
+		if !testkit.BagEqual(got, want) {
+			t.Errorf("chaos run differs from oracle: %s", testkit.DiffSample(got, want))
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the compact text form of a Config:
+//
+//	seed[:key=value[,key=value...]]
+//
+// e.g. "7", "7:drop=0.05", or
+// "7:drop=0.05,dup=0.02,crash=0.01,straggle=0.1,delay=8,persist=2,attempts=8".
+// Keys are drop, dup, crash, straggle (rates in [0, 1]) and delay,
+// persist, attempts (non-negative integers); omitted keys stay zero
+// and pick up their defaults at schedule construction. Parse is the
+// inverse of Config.String: Parse(cfg.String()) == cfg for every
+// Config Parse accepts.
+func Parse(s string) (Config, error) {
+	head, rest, hasRest := strings.Cut(s, ":")
+	seed, err := strconv.ParseUint(strings.TrimSpace(head), 10, 64)
+	if err != nil {
+		return Config{}, fmt.Errorf("chaos: bad seed %q in spec %q", head, s)
+	}
+	cfg := Config{Seed: seed}
+	if hasRest && strings.TrimSpace(rest) != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return Config{}, fmt.Errorf("chaos: bad field %q in spec %q (want key=value)", kv, s)
+			}
+			k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+			switch k {
+			case "drop", "dup", "crash", "straggle":
+				r, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return Config{}, fmt.Errorf("chaos: bad rate %s=%q in spec %q", k, v, s)
+				}
+				switch k {
+				case "drop":
+					cfg.Drop = r
+				case "dup":
+					cfg.Dup = r
+				case "crash":
+					cfg.Crash = r
+				case "straggle":
+					cfg.Straggle = r
+				}
+			case "delay", "persist", "attempts":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return Config{}, fmt.Errorf("chaos: bad integer %s=%q in spec %q", k, v, s)
+				}
+				switch k {
+				case "delay":
+					cfg.MaxDelay = n
+				case "persist":
+					if n > 1<<30 {
+						return Config{}, fmt.Errorf("chaos: persist %d too large in spec %q", n, s)
+					}
+					cfg.Persist = int(n)
+				case "attempts":
+					if n > 1<<30 {
+						return Config{}, fmt.Errorf("chaos: attempts %d too large in spec %q", n, s)
+					}
+					cfg.Attempts = int(n)
+				}
+			default:
+				return Config{}, fmt.Errorf("chaos: unknown key %q in spec %q", k, s)
+			}
+		}
+	}
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// ParseSchedule parses a compact spec and builds the schedule.
+func ParseSchedule(s string) (*Schedule, error) {
+	cfg, err := Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return New(cfg)
+}
+
+// MustParseSchedule is ParseSchedule, panicking on error — for tests
+// and package-level schedule tables.
+func MustParseSchedule(s string) *Schedule {
+	sched, err := ParseSchedule(s)
+	if err != nil {
+		panic(err)
+	}
+	return sched
+}
+
+// String renders the compact text form accepted by Parse, emitting
+// only non-zero fields in a canonical order.
+func (c Config) String() string {
+	var parts []string
+	rate := func(k string, v float64) {
+		if v != 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	rate("drop", c.Drop)
+	rate("dup", c.Dup)
+	rate("crash", c.Crash)
+	rate("straggle", c.Straggle)
+	if c.MaxDelay != 0 {
+		parts = append(parts, "delay="+strconv.FormatInt(c.MaxDelay, 10))
+	}
+	if c.Persist != 0 {
+		parts = append(parts, "persist="+strconv.Itoa(c.Persist))
+	}
+	if c.Attempts != 0 {
+		parts = append(parts, "attempts="+strconv.Itoa(c.Attempts))
+	}
+	if len(parts) == 0 {
+		return strconv.FormatUint(c.Seed, 10)
+	}
+	return strconv.FormatUint(c.Seed, 10) + ":" + strings.Join(parts, ",")
+}

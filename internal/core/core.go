@@ -69,6 +69,12 @@ type Engine struct {
 	// Seed drives all hashing and data placement; equal seeds give
 	// bit-identical executions.
 	Seed int64
+	// Chaos, when non-nil, attaches this fault schedule to every cluster
+	// the engine builds (typically a *chaos.Schedule). Executions then
+	// run the mpc recovery protocol: they either complete with output
+	// and (L, r, C) identical to the fault-free run, or panic with a
+	// *mpc.RecoveryFailure (recoverable via chaos.Capture).
+	Chaos mpc.FaultInjector
 }
 
 // NewEngine returns an engine for a p-server cluster.
@@ -179,6 +185,16 @@ func (e *Engine) Plan(req Request) (Algorithm, string, error) {
 	return AlgHyperCube, "cyclic, no skew: one-round HyperCube", nil
 }
 
+// newCluster builds the engine's simulated cluster, attaching the
+// fault schedule if one is configured.
+func (e *Engine) newCluster() *mpc.Cluster {
+	c := mpc.NewCluster(e.P, e.Seed)
+	if e.Chaos != nil {
+		c.SetFaultInjector(e.Chaos)
+	}
+	return c
+}
+
 // Execute plans (unless forced) and runs the request, returning the
 // gathered output and metered costs.
 func (e *Engine) Execute(req Request) (*Execution, error) {
@@ -190,7 +206,7 @@ func (e *Engine) Execute(req Request) (*Execution, error) {
 		return nil, err
 	}
 	q := req.Query
-	c := mpc.NewCluster(e.P, e.Seed)
+	c := e.newCluster()
 	seed := uint64(e.Seed)*2654435761 + 12345
 	const outName = "out"
 	switch alg {
@@ -306,7 +322,7 @@ func (e *Engine) ExecuteAggregate(req Request, spec AggregateSpec) (*Execution, 
 	// aggregate in place. (Execute gathers; for the aggregation we want
 	// the distributed fragments, so we re-scatter the gathered output —
 	// placement is free in the model.)
-	c := mpc.NewCluster(e.P, e.Seed)
+	c := e.newCluster()
 	c.ScatterRoundRobin(exec.Output.Rename("joined"))
 	res, err := aggregate.Run(c, aggregate.Spec{
 		Rel:     "joined",

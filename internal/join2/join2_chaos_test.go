@@ -1,0 +1,42 @@
+package join2
+
+import (
+	"testing"
+
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/testkit"
+)
+
+// Chaos-differential tests: every two-way-join strategy under seeded
+// fault schedules, asserting recovery, oracle equality, and (L, r, C)
+// identical to the fault-free run.
+
+func TestHashJoinChaosDiff(t *testing.T) {
+	testkit.RunChaosDiff(t, hypergraph.TwoWayJoin(), testkit.Config{}, twoWay(HashJoin))
+}
+
+// TestSkewJoinChaosDiff exercises the three-round strategy: the degree
+// exchange and heavy-hitter broadcast rounds give the injector three
+// distinct fragment populations to fault.
+func TestSkewJoinChaosDiff(t *testing.T) {
+	testkit.RunChaosDiff(t, hypergraph.TwoWayJoin(), testkit.Config{}, twoWay(SkewJoin))
+}
+
+// TestSortJoinChaosDiff covers the four-round sort-based join — the
+// longest per-query round sequence in the package, so a mid-query crash
+// has the most committed state to threaten.
+func TestSortJoinChaosDiff(t *testing.T) {
+	testkit.RunChaosDiff(t, hypergraph.TwoWayJoin(), testkit.Config{}, twoWay(SortJoin))
+}
+
+func TestBroadcastJoinChaosDiff(t *testing.T) {
+	testkit.RunChaosDiff(t, hypergraph.TwoWayJoin(), testkit.Config{},
+		func(c *mpc.Cluster, q hypergraph.Query, rels map[string]*relation.Relation, outName string, seed uint64) error {
+			r := testkit.Renamed(q.Atoms[0], rels[q.Atoms[0].Name])
+			s := testkit.Renamed(q.Atoms[1], rels[q.Atoms[1].Name])
+			BroadcastJoin(c, r, s, outName)
+			return nil
+		})
+}

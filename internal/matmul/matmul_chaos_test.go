@@ -1,0 +1,54 @@
+package matmul
+
+import (
+	"testing"
+
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/testkit"
+)
+
+// Chaos-differential tests: the relational matrix multiply under seeded
+// fault schedules. The two-round join-then-aggregate pipeline is
+// value-sensitive end to end: a duplicated join fragment would inflate
+// a dot product, a lost one would zero it.
+
+func TestSQLJoinAggregateChaos(t *testing.T) {
+	const n = 10
+	testkit.SweepChaos(t, testkit.Config{}, func(t *testing.T, p int, seed int64, skew testkit.Skew, spec string) {
+		a, b := Random(n, 9, seed), Random(n, 9, seed+100)
+		want := productOracle(denseToRel("A", a, "i", "j"), denseToRel("B", b, "j", "k"))
+
+		clean := mpc.NewCluster(p, seed)
+		if _, err := SQLJoinAggregate(clean, a, b, uint64(seed)); err != nil {
+			t.Fatalf("fault-free SQLJoinAggregate: %v", err)
+		}
+
+		c := testkit.NewChaosCluster(p, seed, spec)
+		res, err := SQLJoinAggregate(c, a, b, uint64(seed))
+		if err != nil {
+			t.Fatalf("chaos SQLJoinAggregate: %v", err)
+		}
+		testkit.AssertRecovered(t, c)
+		testkit.AssertSameLRC(t, clean, c)
+		assertMatrixMatchesOracle(t, res.C, want)
+	})
+}
+
+// TestSparseSQLMultiplyChaos sweeps the sparse variant, whose fragment
+// population tracks the non-zero structure of the inputs (skewed rows ⇒
+// skewed fragment sizes under fault injection).
+func TestSparseSQLMultiplyChaos(t *testing.T) {
+	testkit.SweepChaos(t, testkit.Config{}, func(t *testing.T, p int, seed int64, skew testkit.Skew, spec string) {
+		a := genSparseRect(skew, 12, 9, 40, seed)
+		b := genSparseRect(skew, 9, 11, 40, seed+1000)
+		c := testkit.NewChaosCluster(p, seed, spec)
+		got, _, err := SparseSQLMultiply(c, a, b, uint64(seed))
+		if err != nil {
+			t.Fatalf("chaos SparseSQLMultiply: %v", err)
+		}
+		testkit.AssertRecovered(t, c)
+		if !got.EqualRect(MultiplyRect(a, b)) {
+			t.Error("chaos sparse product differs from dense reference multiply")
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package mpc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mpcquery/internal/chaos"
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
+)
+
+// BenchmarkRoundChaos times the shuffle round of BenchmarkRound with a
+// fault schedule attached (moderate drop/dup/crash/straggle rates), so
+// the recovery driver's overhead — fragment enumeration, the attempt
+// loop, and the ledger — is visible next to the fault-free baseline.
+// The fault-free cost of the chaos hooks themselves is one nil check in
+// deliver, which BenchmarkRound already measures.
+//
+// External package: the in-package bench file cannot import chaos
+// (chaos imports mpc), so this one rebuilds the shuffle via public API.
+func BenchmarkRoundChaos(b *testing.B) {
+	const tuples = 1 << 17
+	sched := chaos.MustParseSchedule("7:drop=0.05,dup=0.02,crash=0.02,straggle=0.1")
+	for _, p := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			c := mpc.NewCluster(p, 1)
+			c.SetFaultInjector(sched)
+			fill := func(s *mpc.Server, out *mpc.Out) {
+				st := out.Open("M", "a", "b")
+				per := tuples / s.P()
+				for i := 0; i < per; i++ {
+					st.Send((i+s.ID())%s.P(), relation.Value(i), relation.Value(s.ID()))
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Round("shuffle", fill)
+				b.StopTimer()
+				c.DeleteAll("M")
+				c.ResetMetrics()
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -13,6 +13,63 @@ type RoundStat struct {
 	Name      string
 	Recv      []int64 // tuples received per server
 	RecvWords []int64 // values (words) received per server
+	// Chaos records fault-injection and recovery activity for the
+	// round; nil unless a FaultInjector was attached. Recv/RecvWords
+	// always count accepted (exactly-once) deliveries, so they match
+	// the fault-free run even when Chaos shows replays.
+	Chaos *ChaosStat
+}
+
+// ChaosStat is the recovery ledger of one round executed under fault
+// injection. Fragment counters are events, not tuples: one fragment is
+// everything one source sent to one destination on one stream.
+type ChaosStat struct {
+	// Attempts is the number of delivery attempts the round needed
+	// (1 = converged without replay).
+	Attempts int
+	// Dropped counts fragments lost in transit, Duplicated wire
+	// duplicates discarded by the exactly-once filter, and Redelivered
+	// landed fragments wiped by a crash and sent again.
+	Dropped, Duplicated, Redelivered int64
+	// Crashes counts (attempt, server) crash events.
+	Crashes int
+	// StraggleUnits is the simulated per-server delay injected this
+	// round; BackoffUnits the driver's cumulative replay backoff.
+	StraggleUnits []int64
+	BackoffUnits  int64
+}
+
+// Replays returns the delivery attempts beyond the first.
+func (cs *ChaosStat) Replays() int { return cs.Attempts - 1 }
+
+// MaxStraggle returns the largest per-server injected delay.
+func (cs *ChaosStat) MaxStraggle() int64 {
+	var m int64
+	for _, v := range cs.StraggleUnits {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Equal reports whether two chaos ledgers are identical — the
+// determinism check for replaying a fault schedule.
+func (cs *ChaosStat) Equal(o *ChaosStat) bool {
+	if cs == nil || o == nil {
+		return cs == o
+	}
+	if cs.Attempts != o.Attempts || cs.Dropped != o.Dropped || cs.Duplicated != o.Duplicated ||
+		cs.Redelivered != o.Redelivered || cs.Crashes != o.Crashes || cs.BackoffUnits != o.BackoffUnits ||
+		len(cs.StraggleUnits) != len(o.StraggleUnits) {
+		return false
+	}
+	for i := range cs.StraggleUnits {
+		if cs.StraggleUnits[i] != o.StraggleUnits[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // MaxRecv returns the maximum tuples received by any server this round.
@@ -125,6 +182,32 @@ func (m *Metrics) TotalComm() int64 {
 // RoundStats returns the per-round statistics (read-only).
 func (m *Metrics) RoundStats() []RoundStat { return m.stats }
 
+// TotalReplays returns the delivery attempts beyond the first summed
+// over all rounds (0 when no fault injector was attached).
+func (m *Metrics) TotalReplays() int {
+	n := 0
+	for i := range m.stats {
+		if cs := m.stats[i].Chaos; cs != nil {
+			n += cs.Replays()
+		}
+	}
+	return n
+}
+
+// MaxStraggleUnits returns the largest injected per-server delay across
+// all rounds.
+func (m *Metrics) MaxStraggleUnits() int64 {
+	var u int64
+	for i := range m.stats {
+		if cs := m.stats[i].Chaos; cs != nil {
+			if v := cs.MaxStraggle(); v > u {
+				u = v
+			}
+		}
+	}
+	return u
+}
+
 // StatsSince returns the statistics of rounds executed at or after
 // round index `from` (as returned by Rounds() before an algorithm ran)
 // — the windowing primitive for asserting one algorithm's cost on a
@@ -182,6 +265,10 @@ func (m *Metrics) String() string {
 		st := &m.stats[i]
 		fmt.Fprintf(&b, "  round %2d %-28s maxRecv=%-10d p50=%-10d total=%-10d imbalance=%.2f\n",
 			i+1, st.Name, st.MaxRecv(), st.Quantile(0.5), st.TotalRecv(), st.Imbalance())
+		if cs := st.Chaos; cs != nil {
+			fmt.Fprintf(&b, "           chaos: attempts=%d dropped=%d duplicated=%d redelivered=%d crashes=%d backoff=%d maxStraggle=%d\n",
+				cs.Attempts, cs.Dropped, cs.Duplicated, cs.Redelivered, cs.Crashes, cs.BackoffUnits, cs.MaxStraggle())
+		}
 	}
 	return b.String()
 }

@@ -56,6 +56,11 @@ type Cluster struct {
 	// deliverWorkers overrides the delivery worker count (test-only;
 	// 0 means min(p, GOMAXPROCS)).
 	deliverWorkers int
+	// faults, when non-nil, routes every round through the recovery
+	// driver (recovery.go); failed poisons the cluster after a round
+	// whose recovery exhausted its replay budget.
+	faults FaultInjector
+	failed *RecoveryFailure
 }
 
 // NewCluster creates a cluster of p servers. The seed drives all
@@ -278,6 +283,7 @@ func (c *Cluster) roundOuts() []*Out {
 // canonical order (by source server, then stream creation order, then
 // send order) so simulations are bit-for-bit reproducible.
 func (c *Cluster) Round(name string, compute func(s *Server, out *Out)) {
+	c.checkHealthy("Round")
 	outs := c.roundOuts()
 	var wg sync.WaitGroup
 	panics := make([]any, c.p)
@@ -309,12 +315,24 @@ func (c *Cluster) Round(name string, compute func(s *Server, out *Out)) {
 	c.deliver(name, outs)
 }
 
-// deliver moves round outputs into destination servers and records load
-// metrics. Destinations are independent — server dst's inbox is the
+// deliver dispatches a round's delivery: through the recovery driver
+// when a fault injector is attached, straight to the fault-free engine
+// otherwise. The injector check is the entire cost of the chaos hooks
+// on the fault-free path.
+func (c *Cluster) deliver(name string, outs []*Out) {
+	if c.faults != nil {
+		c.deliverChaos(name, outs)
+		return
+	}
+	c.deliverCommit(name, outs)
+}
+
+// deliverCommit moves round outputs into destination servers and records
+// load metrics. Destinations are independent — server dst's inbox is the
 // concatenation of fragments addressed to dst, in canonical order — so
 // delivery fans out across worker goroutines, each owning a disjoint
 // set of destinations.
-func (c *Cluster) deliver(name string, outs []*Out) {
+func (c *Cluster) deliverCommit(name string, outs []*Out) {
 	recv := make([]int64, c.p)
 	recvWords := make([]int64, c.p)
 	if c.refDeliver {
@@ -596,8 +614,11 @@ func (c *Cluster) ScatterByHash(rel *relation.Relation, attrs []string, seed uin
 // servers into one relation. It is a driver-side verification helper
 // and is not metered. Every fragment must carry the same schema; a
 // mismatch means two different relations were stored under one name,
-// and concatenating them would silently produce garbage.
+// and concatenating them would silently produce garbage. Gathering
+// from a cluster poisoned by a failed recovery panics: a fragment lost
+// to an unrecovered fault must not be read as empty.
 func (c *Cluster) Gather(name string) *relation.Relation {
+	c.checkHealthy("Gather")
 	var out *relation.Relation
 	for _, s := range c.servers {
 		f := s.rels[name]
@@ -626,8 +647,11 @@ func (c *Cluster) DeleteAll(name string) {
 }
 
 // TotalLen sums the sizes of the named relation fragment across servers
-// (0 if absent everywhere).
+// (0 if absent everywhere). Like Gather, it panics on a cluster
+// poisoned by a failed recovery instead of counting lost fragments as
+// empty.
 func (c *Cluster) TotalLen(name string) int {
+	c.checkHealthy("TotalLen")
 	total := 0
 	for _, s := range c.servers {
 		if f := s.rels[name]; f != nil {
@@ -637,8 +661,10 @@ func (c *Cluster) TotalLen(name string) int {
 	return total
 }
 
-// MaxFragLen returns the largest per-server fragment size of name.
+// MaxFragLen returns the largest per-server fragment size of name. It
+// panics on a cluster poisoned by a failed recovery.
 func (c *Cluster) MaxFragLen(name string) int {
+	c.checkHealthy("MaxFragLen")
 	m := 0
 	for _, s := range c.servers {
 		if f := s.rels[name]; f != nil && f.Len() > m {

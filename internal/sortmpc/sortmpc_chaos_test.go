@@ -1,0 +1,61 @@
+package sortmpc
+
+import (
+	"testing"
+
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/testkit"
+)
+
+// Chaos-differential tests: PSRS under seeded fault schedules. Sorting
+// is the strictest output contract in the repo — exact sequence
+// equality, not bag equality — so any fragment a crash silently lost or
+// an attempt delivered twice would surface as a misordered or
+// wrong-length sequence.
+
+func TestPSRSChaos(t *testing.T) {
+	keys := []string{"k", "uid"}
+	testkit.SweepChaos(t, testkit.Config{}, func(t *testing.T, p int, seed int64, skew testkit.Skew, spec string) {
+		rel := genSortInput(skew, 160, seed)
+		want := testkit.OracleSort(rel, keys...)
+
+		clean := mpc.NewCluster(p, seed)
+		clean.ScatterRoundRobin(rel)
+		PSRS(clean, "R", keys, "out")
+
+		c := testkit.NewChaosCluster(p, seed, spec)
+		c.ScatterRoundRobin(rel)
+		PSRS(c, "R", keys, "out")
+		testkit.AssertRecovered(t, c)
+		testkit.AssertSameLRC(t, clean, c)
+		if err := VerifySorted(c, "out", keys); err != nil {
+			t.Fatalf("VerifySorted: %v", err)
+		}
+		assertExactOrder(t, gatherInServerOrder(c, "out", keys), want)
+	})
+}
+
+// TestFanLimitedSortChaos covers the multi-level variant: 2·⌈log_fan p⌉
+// dependent rounds, the longest recovery chain in the package. Cluster
+// sizes are powers of the fan, matching the diff suite: only there does
+// the level recursion assign contiguous key ranges to consecutive
+// server ids, which the exact-order assertion relies on (independent of
+// fault injection).
+func TestFanLimitedSortChaos(t *testing.T) {
+	keys := []string{"k", "uid"}
+	testkit.SweepChaos(t, testkit.Config{Ps: []int{2, 4}}, func(t *testing.T, p int, seed int64, skew testkit.Skew, spec string) {
+		rel := genSortInput(skew, 160, seed)
+		want := testkit.OracleSort(rel, keys...)
+
+		clean := mpc.NewCluster(p, seed)
+		clean.ScatterRoundRobin(rel)
+		FanLimitedSort(clean, "R", keys, "out", 2)
+
+		c := testkit.NewChaosCluster(p, seed, spec)
+		c.ScatterRoundRobin(rel)
+		FanLimitedSort(c, "R", keys, "out", 2)
+		testkit.AssertRecovered(t, c)
+		testkit.AssertSameLRC(t, clean, c)
+		assertExactOrder(t, gatherInServerOrder(c, "out", keys), want)
+	})
+}

@@ -39,6 +39,10 @@ type Config struct {
 	LoadFactor float64
 	// LoadSlack absorbs small-input quantization (default 16 tuples).
 	LoadSlack int64
+	// ChaosSpecs is the fault-schedule axis of the chaos sweeps
+	// (RunChaosDiff, SweepChaos), in chaos.Parse's compact form;
+	// DefaultChaosSpecs when empty. Ignored by the fault-free sweeps.
+	ChaosSpecs []string
 }
 
 // DefaultConfig returns the standard sweep: cluster sizes {2, 4, 8},
