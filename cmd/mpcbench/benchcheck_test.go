@@ -90,3 +90,51 @@ func TestRunBenchCheck(t *testing.T) {
 		t.Fatalf("report should flag the regression:\n%s", out.String())
 	}
 }
+
+// TestRunBenchCheckPerEntryRatio: an entry's max_ratio overrides the
+// lane-wide threshold in both directions — tightening the gate on a
+// pinned hot path, loosening it on a known-noisy benchmark.
+func TestRunBenchCheckPerEntryRatio(t *testing.T) {
+	dir := t.TempDir()
+	baselinePath := filepath.Join(dir, "baseline.json")
+	benchPath := filepath.Join(dir, "bench.txt")
+	// Round/p8 measures 1.5x its baseline, Deliver/p256 1.2x.
+	baselineJSON := `{
+	  "description": "test",
+	  "benchmarks": [
+	    {"package": "mpcquery/internal/mpc", "name": "BenchmarkRound/p8", "ns_per_op": 1000000, "max_ratio": 1.05},
+	    {"package": "mpcquery/internal/mpc", "name": "BenchmarkDeliver/p256", "ns_per_op": 2000000, "max_ratio": 10}
+	  ]
+	}`
+	if err := os.WriteFile(baselinePath, []byte(baselineJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchPath, []byte(sampleBenchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The lane default of 3x would pass both; the pinned 1.05x gate on
+	// Round/p8 must fail it anyway.
+	var out strings.Builder
+	regressions, err := runBenchCheck(&out, baselinePath, benchPath, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (pinned Round/p8)\n%s", regressions, out.String())
+	}
+	if !strings.Contains(out.String(), "limit 1.05x") {
+		t.Fatalf("report should show the per-entry limit:\n%s", out.String())
+	}
+
+	// Conversely, a lane default of 1.1x would fail Deliver/p256
+	// (ratio 1.2), but its 10x entry limit lets it pass.
+	out.Reset()
+	regressions, err = runBenchCheck(&out, baselinePath, benchPath, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (only the pinned entry)\n%s", regressions, out.String())
+	}
+}

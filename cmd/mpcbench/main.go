@@ -20,10 +20,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"mpcquery/internal/experiments"
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/trace"
 )
 
 func main() {
@@ -33,6 +37,9 @@ func main() {
 	benchCheck := flag.String("benchcheck", "", "compare `go test -bench` output (file path, or - for stdin) against the baseline and exit non-zero on regressions")
 	baseline := flag.String("baseline", "BENCH_BASELINE.json", "baseline file for -benchcheck")
 	maxRatio := flag.Float64("maxratio", 3.0, "fail -benchcheck when measured ns/op exceeds this multiple of baseline")
+	traceFile := flag.String("trace", "", "record every cluster the experiments build into one trace file (.jsonl → JSON lines, otherwise Chrome trace_event)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	flag.Parse()
 
 	if *benchCheck != "" {
@@ -67,6 +74,27 @@ func main() {
 		}
 	}
 
+	var rec *trace.Recorder
+	if *traceFile != "" {
+		// Experiments build their clusters internally, so the recorder is
+		// installed as the process-wide default picked up by NewCluster.
+		rec = trace.NewRecorder()
+		mpc.SetDefaultTracer(rec)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mpcbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
 	for _, e := range selected {
 		start := time.Now()
 		table := e.Run()
@@ -77,4 +105,43 @@ func main() {
 			fmt.Printf("  (%v)\n\n", time.Since(start).Round(time.Millisecond))
 		}
 	}
+
+	if rec != nil {
+		if err := writeTrace(*traceFile, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "mpcbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events written to %s\n", rec.Len(), *traceFile)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcbench: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mpcbench: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+}
+
+// writeTrace exports rec to path, choosing the format by extension:
+// .jsonl → JSON lines, anything else Chrome trace_event.
+func writeTrace(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = trace.WriteJSONL(f, rec.Events())
+	} else {
+		err = trace.WriteChrome(f, rec.Events())
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

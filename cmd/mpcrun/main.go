@@ -38,6 +38,7 @@ import (
 	"mpcquery/internal/cost"
 	"mpcquery/internal/hypergraph"
 	"mpcquery/internal/relation"
+	"mpcquery/internal/trace"
 	"mpcquery/internal/workload"
 )
 
@@ -51,6 +52,7 @@ func main() {
 	skew := flag.String("skew", "none", "generated data skew: none, zipf, heavy")
 	seed := flag.Int64("seed", 1, "random seed")
 	chaosSpec := flag.String("chaos", "", "fault schedule seed[:drop=r,dup=r,crash=r,straggle=r,delay=n,persist=n,attempts=n]")
+	traceFile := flag.String("trace", "", "write an execution trace to this file (.jsonl → JSON lines, otherwise Chrome trace_event for Perfetto/chrome://tracing)")
 	verbose := flag.Bool("verbose", false, "print per-round metrics")
 	flag.Parse()
 
@@ -85,6 +87,11 @@ func main() {
 		}
 		engine.Chaos = sched
 	}
+	var rec *trace.Recorder
+	if *traceFile != "" {
+		rec = trace.NewRecorder()
+		engine.Trace = rec
+	}
 	var exec *core.Execution
 	failure, err := chaos.Capture(func() error {
 		var execErr error
@@ -96,6 +103,9 @@ func main() {
 		return execErr
 	})
 	if failure != nil {
+		// The trace is most valuable exactly when the run failed: flush
+		// whatever was recorded before exiting.
+		writeTrace(*traceFile, rec)
 		fmt.Fprintln(os.Stderr, "mpcrun:", sched.Report(nil, failure))
 		os.Exit(1)
 	}
@@ -103,6 +113,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mpcrun:", err)
 		os.Exit(1)
 	}
+	writeTrace(*traceFile, rec)
 	in := 0
 	for _, r := range rels {
 		in += r.Len()
@@ -130,6 +141,33 @@ func main() {
 	if *verbose {
 		fmt.Print(exec.Metrics.String())
 	}
+}
+
+// writeTrace exports the recorded events to path — JSON lines when the
+// file ends in .jsonl, Chrome trace_event (Perfetto-loadable) otherwise.
+// No-op when tracing was not requested.
+func writeTrace(path string, rec *trace.Recorder) {
+	if path == "" || rec == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpcrun: trace:", err)
+		os.Exit(1)
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = trace.WriteJSONL(f, rec.Events())
+	} else {
+		err = trace.WriteChrome(f, rec.Events())
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpcrun: trace:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d events written to %s\n", rec.Len(), path)
 }
 
 // indentAfterFirst indents every line after the first, aligning

@@ -1,11 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"mpcquery/internal/chaos"
 	"mpcquery/internal/core"
 	"mpcquery/internal/stats"
+	"mpcquery/internal/trace"
 )
 
 func TestParseQuery(t *testing.T) {
@@ -161,4 +167,77 @@ func TestHLTriangleViaEngine(t *testing.T) {
 	if _, err := engine.Execute(core.Request{Query: q2, Relations: rels2, Algorithm: core.AlgHLTriangle}); err == nil {
 		t.Fatal("expected error for HL on path query")
 	}
+}
+
+// TestTraceViaEngine exercises the -trace path main() drives: an engine
+// with a recorder attached records a consistent trace, and writeTrace
+// emits both formats — the Chrome file parseable as trace_event JSON,
+// the JSONL file round-tripping through the strict parser.
+func TestTraceViaEngine(t *testing.T) {
+	q, err := parseQuery("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := generate(q, 300, "none", 2)
+	engine := core.NewEngine(8, 1)
+	rec := trace.NewRecorder()
+	engine.Trace = rec
+	exec, err := engine.Execute(core.Request{Query: q, Relations: rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("traced execution recorded no events")
+	}
+	// The trace must carry the planner annotation and one frame pair per
+	// metered round.
+	starts, ends, annotates := 0, 0, 0
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case trace.KindRoundStart:
+			starts++
+		case trace.KindRoundEnd:
+			ends++
+		case trace.KindAnnotate:
+			annotates++
+		}
+	}
+	if starts != exec.Rounds || ends != exec.Rounds {
+		t.Fatalf("trace has %d starts / %d ends, execution metered %d rounds", starts, ends, exec.Rounds)
+	}
+	if annotates == 0 {
+		t.Fatal("no planner/algorithm annotations recorded")
+	}
+
+	dir := t.TempDir()
+	for _, name := range []string{"out.jsonl", "out.json"} {
+		path := filepath.Join(dir, name)
+		writeTrace(path, rec)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s not written: %v", name, err)
+		}
+		if strings.HasSuffix(name, ".jsonl") {
+			events, err := trace.ReadJSONL(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("JSONL trace does not parse back: %v", err)
+			}
+			if len(events) != rec.Len() {
+				t.Fatalf("JSONL trace has %d events, recorder %d", len(events), rec.Len())
+			}
+		} else {
+			var doc struct {
+				TraceEvents []json.RawMessage `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(data, &doc); err != nil {
+				t.Fatalf("Chrome trace is not valid trace_event JSON: %v", err)
+			}
+			if len(doc.TraceEvents) == 0 {
+				t.Fatal("Chrome trace has no events")
+			}
+		}
+	}
+	// writeTrace without a path or recorder is a no-op, not a crash.
+	writeTrace("", rec)
+	writeTrace(filepath.Join(dir, "x.jsonl"), nil)
 }

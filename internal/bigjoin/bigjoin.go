@@ -25,6 +25,7 @@ import (
 	"mpcquery/internal/hypergraph"
 	"mpcquery/internal/mpc"
 	"mpcquery/internal/relation"
+	"mpcquery/internal/trace"
 )
 
 // step is one planned extension.
@@ -216,6 +217,7 @@ func Run(c *mpc.Cluster, pl *Plan, rels map[string]*relation.Relation, outName s
 		prepped[a.Name] = renamed
 		c.ScatterRoundRobin(renamed)
 	}
+	trace.Annotatef(c, "bigjoin.Run %s var order %v", q.Name, pl.VarOrder)
 	start := c.Metrics().Rounds()
 	p := c.P()
 

@@ -35,6 +35,7 @@ import (
 	"mpcquery/internal/mpc"
 	"mpcquery/internal/relation"
 	"mpcquery/internal/stats"
+	"mpcquery/internal/trace"
 	"mpcquery/internal/yannakakis"
 )
 
@@ -75,6 +76,11 @@ type Engine struct {
 	// and (L, r, C) identical to the fault-free run, or panic with a
 	// *mpc.RecoveryFailure (recoverable via chaos.Capture).
 	Chaos mpc.FaultInjector
+	// Trace, when non-nil, attaches this event recorder to every cluster
+	// the engine builds. Executions append their per-round send/recv/skew
+	// events (and, under Chaos, the recovery events) to the recorder;
+	// export with trace.WriteJSONL or trace.WriteChrome.
+	Trace *trace.Recorder
 }
 
 // NewEngine returns an engine for a p-server cluster.
@@ -186,11 +192,14 @@ func (e *Engine) Plan(req Request) (Algorithm, string, error) {
 }
 
 // newCluster builds the engine's simulated cluster, attaching the
-// fault schedule if one is configured.
+// fault schedule and trace recorder if configured.
 func (e *Engine) newCluster() *mpc.Cluster {
 	c := mpc.NewCluster(e.P, e.Seed)
 	if e.Chaos != nil {
 		c.SetFaultInjector(e.Chaos)
+	}
+	if e.Trace != nil {
+		c.SetTracer(e.Trace)
 	}
 	return c
 }
@@ -207,6 +216,7 @@ func (e *Engine) Execute(req Request) (*Execution, error) {
 	}
 	q := req.Query
 	c := e.newCluster()
+	trace.Annotatef(c, "plan %s: %s (%s)", q.Name, alg, reason)
 	seed := uint64(e.Seed)*2654435761 + 12345
 	const outName = "out"
 	switch alg {
@@ -323,6 +333,7 @@ func (e *Engine) ExecuteAggregate(req Request, spec AggregateSpec) (*Execution, 
 	// the distributed fragments, so we re-scatter the gathered output —
 	// placement is free in the model.)
 	c := e.newCluster()
+	trace.Annotatef(c, "aggregate group-by %v", spec.GroupBy)
 	c.ScatterRoundRobin(exec.Output.Rename("joined"))
 	res, err := aggregate.Run(c, aggregate.Spec{
 		Rel:     "joined",

@@ -7,6 +7,7 @@ import (
 	"mpcquery/internal/hypergraph"
 	"mpcquery/internal/mpc"
 	"mpcquery/internal/relation"
+	"mpcquery/internal/trace"
 )
 
 // HeavyLightTriangle implements the multi-round Heavy-Light + Semijoins
@@ -40,6 +41,7 @@ func HeavyLightTriangle(c *mpc.Cluster, rels map[string]*relation.Relation, outN
 	for _, a := range q.Atoms {
 		c.ScatterRoundRobin(prepped[a.Name])
 	}
+	trace.Annotatef(c, "hypercube.HeavyLightTriangle (z threshold %d)", threshold)
 	start := c.Metrics().Rounds()
 
 	// Round 1: z-degree summaries (z occurs in S(y,z) and T(z,x)).

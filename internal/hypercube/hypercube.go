@@ -28,6 +28,7 @@ import (
 	"mpcquery/internal/mpc"
 	"mpcquery/internal/relation"
 	"mpcquery/internal/stats"
+	"mpcquery/internal/trace"
 )
 
 // Plan is a HyperCube share assignment for one query.
@@ -216,6 +217,7 @@ func RunWithPlan(c *mpc.Cluster, pl *Plan, rels map[string]*relation.Relation, o
 	for _, a := range q.Atoms {
 		c.ScatterRoundRobin(prepped[a.Name])
 	}
+	trace.Annotatef(c, "hypercube.Run %s shares %v on %v", q.Name, pl.Shares, pl.Vars)
 	start := c.Metrics().Rounds()
 	atoms := q.Atoms
 	c.Round("hypercube:shuffle", func(srv *mpc.Server, out *mpc.Out) {
@@ -303,6 +305,7 @@ func RunSkewHC(c *mpc.Cluster, q hypergraph.Query, rels map[string]*relation.Rel
 	for _, a := range q.Atoms {
 		c.ScatterRoundRobin(prepped[a.Name])
 	}
+	trace.Annotatef(c, "hypercube.RunSkewHC %s (heavy threshold %d)", q.Name, threshold)
 	start := c.Metrics().Rounds()
 	vars := q.Vars()
 	varIdx := map[string]int{}

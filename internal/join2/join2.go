@@ -31,6 +31,7 @@ import (
 	"mpcquery/internal/relation"
 	"mpcquery/internal/sortmpc"
 	"mpcquery/internal/stats"
+	"mpcquery/internal/trace"
 )
 
 // Result describes one parallel join execution.
@@ -67,6 +68,7 @@ func HashJoin(c *mpc.Cluster, r, s *relation.Relation, outName string, seed uint
 	}
 	c.ScatterRoundRobin(r)
 	c.ScatterRoundRobin(s)
+	trace.Annotatef(c, "join2.HashJoin %s ⋈ %s on %v", r.Name(), s.Name(), shared)
 	start := c.Metrics().Rounds()
 	rName, sName := r.Name(), s.Name()
 	rAttrs, sAttrs := r.Attrs(), s.Attrs()
@@ -107,6 +109,7 @@ func BroadcastJoin(c *mpc.Cluster, r, s *relation.Relation, outName string) *Res
 	joinAttr(r, s) // validate schema compatibility
 	c.ScatterRoundRobin(r)
 	c.ScatterRoundRobin(s)
+	trace.Annotatef(c, "join2.BroadcastJoin small=%s (%d tuples)", r.Name(), r.Len())
 	start := c.Metrics().Rounds()
 	rName, sName := r.Name(), s.Name()
 	rAttrs, sAttrs := r.Attrs(), s.Attrs()
@@ -265,6 +268,7 @@ func SkewJoin(c *mpc.Cluster, r, s *relation.Relation, outName string, seed uint
 	if threshold < 1 {
 		threshold = 1
 	}
+	trace.Annotatef(c, "join2.SkewJoin %s ⋈ %s on %s (heavy threshold %d)", r.Name(), s.Name(), y, threshold)
 	rName, sName := r.Name(), s.Name()
 	rAttrs, sAttrs := r.Attrs(), s.Attrs()
 
@@ -440,6 +444,7 @@ func SortJoin(c *mpc.Cluster, r, s *relation.Relation, outName string, seed uint
 		uid++
 	}
 	c.ScatterRoundRobin(union)
+	trace.Annotatef(c, "join2.SortJoin %s ⋈ %s on %s (union %d tuples)", r.Name(), s.Name(), y, union.Len())
 	start := c.Metrics().Rounds()
 
 	// Phase 1: parallel sort by (y, tag, uid).

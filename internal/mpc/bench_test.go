@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mpcquery/internal/relation"
+	"mpcquery/internal/trace"
 )
 
 // Delivery-path micro-benchmarks. The workload is a shuffle: a fixed
@@ -45,6 +46,39 @@ func BenchmarkRound(b *testing.B) {
 				b.StartTimer()
 			}
 		})
+	}
+}
+
+// BenchmarkRoundTraced measures what tracing costs on the shuffle
+// round. "off" is a cluster with no recorder attached — the default
+// path every production run takes, which the benchcheck gate holds to
+// within 5% of the committed BenchmarkRound baseline. "on" attaches a
+// recorder (reset between iterations so event slices don't grow
+// without bound) and shows the price of full event capture.
+func BenchmarkRoundTraced(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		for _, p := range benchPs {
+			b.Run(fmt.Sprintf("%s/p%d", mode, p), func(b *testing.B) {
+				c := NewCluster(p, 1)
+				var rec *trace.Recorder
+				if mode == "on" {
+					rec = trace.NewRecorder()
+					c.SetTracer(rec)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.Round("shuffle", benchFill)
+					b.StopTimer()
+					c.DeleteAll("M")
+					c.ResetMetrics()
+					if rec != nil {
+						rec.Reset()
+					}
+					b.StartTimer()
+				}
+			})
+		}
 	}
 }
 

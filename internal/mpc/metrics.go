@@ -2,9 +2,9 @@ package mpc
 
 import (
 	"fmt"
-	"math"
-	"sort"
 	"strings"
+
+	"mpcquery/internal/stats"
 )
 
 // RoundStat records the communication received by each server in one
@@ -96,23 +96,26 @@ func (r *RoundStat) TotalRecv() int64 {
 // tuples this round, using the nearest-rank definition: the smallest
 // value with at least ⌈q·p⌉ servers at or below it. Quantile(0) is the
 // minimum and Quantile(1) the maximum; truncating instead of rounding
-// the rank would bias high quantiles (p99) low on small clusters.
+// the rank would bias high quantiles (p99) low on small clusters. The
+// computation is shared with the trace layer (stats.QuantileInt64) so
+// trace-derived and metric-derived quantiles agree exactly.
 func (r *RoundStat) Quantile(q float64) int64 {
-	n := len(r.Recv)
-	if n == 0 {
-		return 0
-	}
-	sorted := append([]int64(nil), r.Recv...)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-	rank := int(math.Ceil(q * float64(n)))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > n {
-		rank = n
-	}
-	return sorted[rank-1]
+	return stats.QuantileInt64(r.Recv, q)
 }
+
+// P99Recv returns the 99th-percentile (nearest-rank) per-server
+// received tuples this round — the skew summary's tail statistic. On
+// small clusters (including p = 1) the nearest-rank definition makes
+// this the maximum; an empty or all-zero round yields 0.
+func (r *RoundStat) P99Recv() int64 { return r.Quantile(0.99) }
+
+// GiniRecv returns the Gini coefficient of the round's per-server
+// received tuples: 0 for a perfectly balanced (or empty, all-zero, or
+// single-server) round, approaching 1 as one server receives
+// everything. Unlike Imbalance (max/mean) it weighs the whole
+// distribution, so a round where half the servers idle scores worse
+// than one with a single hot outlier of the same max.
+func (r *RoundStat) GiniRecv() float64 { return stats.Gini(r.Recv) }
 
 // Imbalance returns max/mean of per-server received tuples — 1.0 is
 // perfect balance; hash-partition skew shows up directly here. Returns

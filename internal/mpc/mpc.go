@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"mpcquery/internal/relation"
+	"mpcquery/internal/trace"
 )
 
 // Cluster is a simulated shared-nothing cluster of p servers.
@@ -61,6 +62,10 @@ type Cluster struct {
 	// whose recovery exhausted its replay budget.
 	faults FaultInjector
 	failed *RecoveryFailure
+	// tracer, when non-nil, records structured round events (see
+	// internal/trace). The entire cost on an untraced cluster is the
+	// nil checks in Round.
+	tracer *trace.Recorder
 }
 
 // NewCluster creates a cluster of p servers. The seed drives all
@@ -69,7 +74,7 @@ func NewCluster(p int, seed int64) *Cluster {
 	if p < 1 {
 		panic(fmt.Sprintf("mpc: cluster needs p ≥ 1, got %d", p))
 	}
-	c := &Cluster{p: p, seed: seed, metrics: NewMetrics(p)}
+	c := &Cluster{p: p, seed: seed, metrics: NewMetrics(p), tracer: defaultTracer.Load()}
 	c.servers = make([]*Server, p)
 	for i := range c.servers {
 		c.servers[i] = &Server{
@@ -106,7 +111,41 @@ func (c *Cluster) Server(i int) *Server { return c.servers[i] }
 func (c *Cluster) Metrics() *Metrics { return c.metrics }
 
 // ResetMetrics clears accumulated metrics (e.g. to exclude setup).
+// Round indices restart at 0, so a trace spanning a reset should also
+// swap in a fresh recorder via SetTracer.
 func (c *Cluster) ResetMetrics() { c.metrics = NewMetrics(c.p) }
+
+// defaultTracer, when set, is attached to every cluster NewCluster
+// creates. It exists for the CLIs (mpcbench -trace), which need to
+// trace clusters built deep inside experiment drivers; libraries and
+// tests should attach recorders per cluster with SetTracer.
+var defaultTracer atomic.Pointer[trace.Recorder]
+
+// SetDefaultTracer installs (or, with nil, removes) the process-wide
+// default recorder picked up by subsequently created clusters.
+func SetDefaultTracer(r *trace.Recorder) { defaultTracer.Store(r) }
+
+// SetTracer attaches a trace recorder to the cluster; nil disables
+// tracing. Attach before running rounds: consistency checks
+// (testkit.AssertTraceConsistent) expect the trace to cover every
+// metered round.
+func (c *Cluster) SetTracer(r *trace.Recorder) { c.tracer = r }
+
+// Tracer returns the attached recorder, or nil when tracing is off.
+func (c *Cluster) Tracer() *trace.Recorder { return c.tracer }
+
+// TraceEnabled implements trace.Annotator.
+func (c *Cluster) TraceEnabled() bool { return c.tracer != nil }
+
+// TraceAnnotate implements trace.Annotator: it records a phase marker
+// stamped with the metric index the next round will get. Call it from
+// driver code between rounds (algorithms use trace.Annotate), not from
+// compute functions.
+func (c *Cluster) TraceAnnotate(msg string) {
+	if c.tracer != nil {
+		c.tracer.Annotate(c.metrics.Rounds(), msg)
+	}
+}
 
 // Server is one node of the simulated cluster. A server owns a set of
 // named local relation fragments; between rounds, algorithms read and
@@ -284,6 +323,9 @@ func (c *Cluster) roundOuts() []*Out {
 // send order) so simulations are bit-for-bit reproducible.
 func (c *Cluster) Round(name string, compute func(s *Server, out *Out)) {
 	c.checkHealthy("Round")
+	if c.tracer != nil {
+		c.tracer.RoundStart(c.metrics.Rounds(), name)
+	}
 	outs := c.roundOuts()
 	var wg sync.WaitGroup
 	panics := make([]any, c.p)
@@ -313,6 +355,74 @@ func (c *Cluster) Round(name string, compute func(s *Server, out *Out)) {
 		}
 	}
 	c.deliver(name, outs)
+	if c.tracer != nil {
+		c.traceRound(name, outs)
+	}
+}
+
+// traceRound records the committed round's communication ledger: per
+// (source, stream) send totals, per (stream, destination) recv totals
+// with fan-in, the recovery summary when the round ran under fault
+// injection, and the skew/round_end closing events. It runs on the
+// driver after delivery, before the round buffers are recycled, and is
+// engine-agnostic: it reads the outs (identical whichever delivery
+// implementation ran) and the just-recorded RoundStat.
+func (c *Cluster) traceRound(name string, outs []*Out) {
+	tr := c.tracer
+	round := c.metrics.Rounds() - 1
+	st := &c.metrics.stats[len(c.metrics.stats)-1]
+	// Send totals, in canonical (source, stream creation) order.
+	for src := 0; src < c.p; src++ {
+		for _, stName := range outs[src].order {
+			s := outs[src].streams[stName]
+			var tuples, words int64
+			for dst := 0; dst < c.p; dst++ {
+				tuples += s.counts[dst]
+				words += int64(len(s.perDst[dst]))
+			}
+			if tuples > 0 {
+				tr.Send(round, stName, src, tuples, words)
+			}
+		}
+	}
+	// Recv totals: aggregate fan-in per stream name across sources, in
+	// first-appearance order (deterministic, like delivery itself).
+	type fanIn struct {
+		tuples, words []int64
+		frags         []int
+	}
+	var order []string
+	aggs := map[string]*fanIn{}
+	for src := 0; src < c.p; src++ {
+		for _, stName := range outs[src].order {
+			a := aggs[stName]
+			if a == nil {
+				a = &fanIn{tuples: make([]int64, c.p), words: make([]int64, c.p), frags: make([]int, c.p)}
+				aggs[stName] = a
+				order = append(order, stName)
+			}
+			s := outs[src].streams[stName]
+			for dst := 0; dst < c.p; dst++ {
+				if s.counts[dst] > 0 {
+					a.tuples[dst] += s.counts[dst]
+					a.words[dst] += int64(len(s.perDst[dst]))
+					a.frags[dst]++
+				}
+			}
+		}
+	}
+	for _, stName := range order {
+		a := aggs[stName]
+		for dst := 0; dst < c.p; dst++ {
+			if a.frags[dst] > 0 {
+				tr.Recv(round, stName, dst, a.tuples[dst], a.words[dst], a.frags[dst])
+			}
+		}
+	}
+	if cs := st.Chaos; cs != nil {
+		tr.ChaosSummary(round, cs.Attempts, cs.Dropped, cs.Duplicated, cs.Redelivered, cs.Crashes, cs.BackoffUnits)
+	}
+	tr.RoundEnd(round, name, st.Recv, st.RecvWords)
 }
 
 // deliver dispatches a round's delivery: through the recovery driver

@@ -162,6 +162,11 @@ func (c *Cluster) deliverChaos(name string, outs []*Out) {
 				cs.Crashes++
 			}
 		}
+		if c.tracer != nil {
+			for _, d := range down {
+				c.tracer.Crash(round, attempt, d)
+			}
+		}
 		if len(down) > 0 {
 			// A crashed server loses its round inbox: everything that
 			// had landed on it must be delivered again.
@@ -203,7 +208,11 @@ func (c *Cluster) deliverChaos(name string, outs []*Out) {
 			c.failed = fail
 			panic(fail)
 		}
-		cs.BackoffUnits += inj.BackoffUnits(attempt + 1)
+		units := inj.BackoffUnits(attempt + 1)
+		cs.BackoffUnits += units
+		if c.tracer != nil {
+			c.tracer.Backoff(round, attempt+1, units)
+		}
 	}
 	c.deliverCommit(name, outs)
 	c.metrics.stats[len(c.metrics.stats)-1].Chaos = cs

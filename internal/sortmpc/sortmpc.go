@@ -20,6 +20,7 @@ import (
 
 	"mpcquery/internal/mpc"
 	"mpcquery/internal/relation"
+	"mpcquery/internal/trace"
 )
 
 // Result reports what a distributed sort did.
@@ -101,6 +102,11 @@ func psrs(c *mpc.Cluster, name string, keyAttrs []string, outName string, regula
 		panic("sortmpc: no key attributes")
 	}
 	p := c.P()
+	variant := "regular-sample"
+	if !regular {
+		variant = "random-sample"
+	}
+	trace.Annotatef(c, "sortmpc.PSRS %s by %v (%s)", name, keyAttrs, variant)
 	startRounds := c.Metrics().Rounds()
 	arity := len(keyAttrs)
 	sampleAttrs := make([]string, arity)
@@ -192,6 +198,7 @@ func FanLimitedSort(c *mpc.Cluster, name string, keyAttrs []string, outName stri
 		panic(fmt.Sprintf("sortmpc: fan = %d, need ≥ 2", fan))
 	}
 	p := c.P()
+	trace.Annotatef(c, "sortmpc.FanLimitedSort %s by %v (fan %d)", name, keyAttrs, fan)
 	startRounds := c.Metrics().Rounds()
 	cur := name
 	level := 0

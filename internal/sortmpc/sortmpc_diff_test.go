@@ -7,6 +7,7 @@ import (
 	"mpcquery/internal/mpc"
 	"mpcquery/internal/relation"
 	"mpcquery/internal/testkit"
+	"mpcquery/internal/trace"
 )
 
 // Differential tests: the parallel sorts vs the sequential stdlib-sort
@@ -62,6 +63,8 @@ func TestPSRSDiff(t *testing.T) {
 		rel := genSortInput(skew, 160, seed)
 		want := testkit.OracleSort(rel, keys...)
 		c := mpc.NewCluster(p, seed)
+		rec := trace.NewRecorder()
+		c.SetTracer(rec)
 		c.ScatterRoundRobin(rel)
 		PSRS(c, "R", keys, "out")
 		testkit.AssertRounds(t, c, 2)
@@ -69,6 +72,7 @@ func TestPSRSDiff(t *testing.T) {
 			t.Fatalf("VerifySorted: %v", err)
 		}
 		assertExactOrder(t, gatherInServerOrder(c, "out", keys), want)
+		testkit.AssertTraceConsistent(t, c, rec)
 	})
 }
 
@@ -81,6 +85,8 @@ func TestPSRSRandomSampleDiff(t *testing.T) {
 		rel := genSortInput(skew, 160, seed)
 		want := testkit.OracleSort(rel, keys...)
 		c := mpc.NewCluster(p, seed)
+		rec := trace.NewRecorder()
+		c.SetTracer(rec)
 		c.ScatterRoundRobin(rel)
 		PSRSRandomSample(c, "R", keys, "out", 8)
 		testkit.AssertRounds(t, c, 2)
@@ -88,6 +94,7 @@ func TestPSRSRandomSampleDiff(t *testing.T) {
 			t.Fatalf("VerifySorted: %v", err)
 		}
 		assertExactOrder(t, gatherInServerOrder(c, "out", keys), want)
+		testkit.AssertTraceConsistent(t, c, rec)
 	})
 }
 
@@ -110,6 +117,8 @@ func TestFanLimitedSortDiff(t *testing.T) {
 				rel := genSortInput(skew, 160, seed)
 				want := testkit.OracleSort(rel, keys...)
 				c := mpc.NewCluster(p, seed)
+				rec := trace.NewRecorder()
+				c.SetTracer(rec)
 				c.ScatterRoundRobin(rel)
 				FanLimitedSort(c, "R", keys, "out", fan)
 				testkit.AssertRounds(t, c, 2*logCeil(fan, p))
@@ -117,6 +126,7 @@ func TestFanLimitedSortDiff(t *testing.T) {
 					t.Fatalf("VerifySorted: %v", err)
 				}
 				assertExactOrder(t, gatherInServerOrder(c, "out", keys), want)
+				testkit.AssertTraceConsistent(t, c, rec)
 			})
 		})
 	}

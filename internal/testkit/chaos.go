@@ -7,6 +7,7 @@ import (
 	"mpcquery/internal/chaos"
 	"mpcquery/internal/hypergraph"
 	"mpcquery/internal/mpc"
+	"mpcquery/internal/trace"
 )
 
 // DefaultChaosSpecs are the fault schedules of the standard chaos
@@ -115,11 +116,17 @@ func RunChaosDiff(t *testing.T, q hypergraph.Query, cfg Config, alg Algo) {
 							t.Fatalf("fault-free run failed: %v", err)
 						}
 						chaotic := NewChaosCluster(p, seed, spec)
+						// Trace the chaos run: AssertTraceConsistent below
+						// reconciles the crash/backoff/replay events against
+						// the recovery ledger of every round.
+						rec := trace.NewRecorder()
+						chaotic.SetTracer(rec)
 						if err := alg(chaotic, q, rels, "out", algSeed); err != nil {
 							t.Fatalf("chaos run failed: %v", err)
 						}
 						AssertRecovered(t, chaotic)
 						AssertSameLRC(t, clean, chaotic)
+						AssertTraceConsistent(t, chaotic, rec)
 						got := GatherResult(chaotic, "out", q.Vars())
 						got.Dedup()
 						if !BagEqual(got, want) {

@@ -7,6 +7,7 @@ import (
 	"mpcquery/internal/hypergraph"
 	"mpcquery/internal/mpc"
 	"mpcquery/internal/relation"
+	"mpcquery/internal/trace"
 )
 
 // Algo adapts one parallel join algorithm to the differential runner:
@@ -115,6 +116,11 @@ func RunDiff(t *testing.T, q hypergraph.Query, cfg Config, alg Algo) {
 					rels := GenInstance(q, skew, cfg.Gen, seed)
 					want := OracleJoin(q, rels)
 					c := mpc.NewCluster(p, seed)
+					// Every differential run is traced: correctness of the
+					// result AND of the observability ledger, on every
+					// (skew, p, seed) instance.
+					rec := trace.NewRecorder()
+					c.SetTracer(rec)
 					if err := alg(c, q, rels, "out", uint64(seed)*0x9e3779b9+uint64(p)); err != nil {
 						t.Fatalf("algorithm failed: %v", err)
 					}
@@ -129,6 +135,7 @@ func RunDiff(t *testing.T, q hypergraph.Query, cfg Config, alg Algo) {
 					if cfg.LoadFactor > 0 && skew == SkewNone {
 						AssertLoadBound(t, c, q, InputSize(q, rels), p, cfg.LoadFactor, cfg.LoadSlack)
 					}
+					AssertTraceConsistent(t, c, rec)
 				})
 			}
 		}

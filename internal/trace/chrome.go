@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The Chrome exporter renders a trace in the trace_event JSON format
+// understood by Perfetto (ui.perfetto.dev) and chrome://tracing:
+//
+//   - pid 0 is the driver: one "X" frame per round spanning the round's
+//     logical duration, plus max_recv and gini counters and instant
+//     markers for annotations, backoff and chaos summaries;
+//   - pid 1 holds one lane (tid) per server; each recv event becomes a
+//     bar whose length IS its tuple count, so a round's frame width is
+//     the round's max load L and skew is visible as ragged lanes.
+//
+// Time is logical: one microsecond per tuple, rounds laid end to end
+// with a small gap. Equal event slices produce byte-identical output.
+
+// chromeEvent is one trace_event record. Fields marshal in declaration
+// order; Args values are maps, which encoding/json emits with sorted
+// keys — both deterministic.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const (
+	pidDriver  = 0
+	pidServers = 1
+)
+
+// WriteChrome writes events in Chrome trace_event format.
+func WriteChrome(w io.Writer, events []Event) error {
+	// Pass 1: round labels, per-round max load (frame width), and the
+	// set of server lanes that will appear.
+	maxRound, maxServer := -1, -1
+	for i := range events {
+		if events[i].Round > maxRound {
+			maxRound = events[i].Round
+		}
+		if events[i].Server > maxServer {
+			maxServer = events[i].Server
+		}
+	}
+	names := make([]string, maxRound+1)
+	started := make([]bool, maxRound+1)
+	ended := make([]bool, maxRound+1)
+	maxs := make([]int64, maxRound+1)
+	perServer := map[[2]int]int64{} // (round, server) -> recv tuples so far
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case KindRoundStart:
+			names[ev.Round] = ev.Name
+			started[ev.Round] = true
+		case KindSkew:
+			if ev.MaxRecv > maxs[ev.Round] {
+				maxs[ev.Round] = ev.MaxRecv
+			}
+		case KindRecv:
+			k := [2]int{ev.Round, ev.Server}
+			perServer[k] += ev.Tuples
+			if perServer[k] > maxs[ev.Round] {
+				maxs[ev.Round] = perServer[k]
+			}
+		}
+	}
+	// Round r occupies [start[r], start[r]+span[r]); spans are the max
+	// load so lane bars (1 µs per tuple) exactly fill the heaviest lane.
+	starts := make([]int64, maxRound+2)
+	for r := 0; r <= maxRound; r++ {
+		span := maxs[r]
+		if span < 1 {
+			span = 1
+		}
+		starts[r+1] = starts[r] + span + span/10 + 1
+	}
+	tsOf := func(round int) int64 {
+		if round < 0 {
+			return 0
+		}
+		if round > maxRound {
+			return starts[maxRound+1]
+		}
+		return starts[round]
+	}
+	spanOf := func(round int) int64 {
+		if s := maxs[round]; s > 1 {
+			return s
+		}
+		return 1
+	}
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(ev chromeEvent) error {
+		b, err := json.Marshal(&ev)
+		if err != nil {
+			return fmt.Errorf("trace: encode chrome event: %w", err)
+		}
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.Write(b)
+		return nil
+	}
+
+	// Metadata: name the processes and one lane per server.
+	meta := []chromeEvent{
+		{Name: "process_name", Ph: "M", Pid: pidDriver, Args: map[string]any{"name": "mpc driver"}},
+		{Name: "process_name", Ph: "M", Pid: pidServers, Args: map[string]any{"name": "servers"}},
+	}
+	for s := 0; s <= maxServer; s++ {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pidServers, Tid: s,
+			Args: map[string]any{"name": fmt.Sprintf("server %d", s)},
+		})
+	}
+	for _, ev := range meta {
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+
+	// Pass 2: walk events in append order; lane bars advance a
+	// per-(round, server) cursor.
+	cursor := map[[2]int]int64{}
+	for i := range events {
+		ev := &events[i]
+		var out chromeEvent
+		switch ev.Kind {
+		case KindRoundStart:
+			continue // the frame is emitted at round_end, when totals are known
+		case KindRoundEnd:
+			ended[ev.Round] = true
+			out = chromeEvent{
+				Name: fmt.Sprintf("r%d %s", ev.Round, ev.Name), Ph: "X",
+				Ts: tsOf(ev.Round), Dur: spanOf(ev.Round), Pid: pidDriver,
+				Args: map[string]any{"tuples": ev.Tuples, "words": ev.Words, "max_recv": ev.MaxRecv},
+			}
+		case KindRecv:
+			k := [2]int{ev.Round, ev.Server}
+			out = chromeEvent{
+				Name: ev.Name, Ph: "X",
+				Ts: tsOf(ev.Round) + cursor[k], Dur: ev.Tuples,
+				Pid: pidServers, Tid: ev.Server,
+				Args: map[string]any{"tuples": ev.Tuples, "words": ev.Words, "frags": ev.Frags},
+			}
+			cursor[k] += ev.Tuples
+		case KindSend:
+			continue // lanes show received load; sends live in the JSONL export
+		case KindSkew:
+			if err := emit(chromeEvent{
+				Name: "max_recv", Ph: "C", Ts: tsOf(ev.Round), Pid: pidDriver,
+				Args: map[string]any{"tuples": ev.MaxRecv},
+			}); err != nil {
+				return err
+			}
+			out = chromeEvent{
+				Name: "gini", Ph: "C", Ts: tsOf(ev.Round), Pid: pidDriver,
+				Args: map[string]any{"gini": ev.Gini},
+			}
+		case KindAnnotate:
+			out = chromeEvent{
+				Name: ev.Name, Ph: "i", Ts: tsOf(ev.Round), Pid: pidDriver, S: "g",
+			}
+		case KindCrash:
+			out = chromeEvent{
+				Name: fmt.Sprintf("crash (attempt %d)", ev.Attempt), Ph: "i",
+				Ts: tsOf(ev.Round) + int64(ev.Attempt), Pid: pidServers, Tid: ev.Server, S: "t",
+			}
+		case KindBackoff:
+			out = chromeEvent{
+				Name: fmt.Sprintf("backoff %d (attempt %d)", ev.Units, ev.Attempt), Ph: "i",
+				Ts: tsOf(ev.Round) + int64(ev.Attempt), Pid: pidDriver, S: "p",
+			}
+		case KindChaos:
+			out = chromeEvent{
+				Name: "chaos", Ph: "i", Ts: tsOf(ev.Round), Pid: pidDriver, S: "p",
+				Args: map[string]any{
+					"attempts": ev.Attempt, "dropped": ev.Dropped, "duplicated": ev.Duplicated,
+					"redelivered": ev.Redelivered, "crashes": ev.Crashes, "backoff": ev.Units,
+				},
+			}
+		default:
+			// Unknown kinds (future recorders) degrade to driver markers.
+			out = chromeEvent{Name: ev.Kind, Ph: "i", Ts: tsOf(ev.Round), Pid: pidDriver, S: "p"}
+		}
+		if err := emit(out); err != nil {
+			return err
+		}
+	}
+	// Rounds that opened but never committed (a recovery failure aborted
+	// them) still get a frame so the crash markers have context.
+	for r := 0; r <= maxRound; r++ {
+		if !started[r] || ended[r] {
+			continue
+		}
+		if err := emit(chromeEvent{
+			Name: fmt.Sprintf("r%d %s (uncommitted)", r, names[r]), Ph: "X",
+			Ts: tsOf(r), Dur: spanOf(r), Pid: pidDriver,
+		}); err != nil {
+			return err
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

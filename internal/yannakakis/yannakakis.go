@@ -27,6 +27,7 @@ import (
 	"mpcquery/internal/hypergraph"
 	"mpcquery/internal/mpc"
 	"mpcquery/internal/relation"
+	"mpcquery/internal/trace"
 )
 
 // SerialStats reports the work done by a serial Yannakakis run.
@@ -212,6 +213,7 @@ func GYM(c *mpc.Cluster, jt *hypergraph.JoinTree, rels map[string]*relation.Rela
 	for _, a := range q.Atoms {
 		c.ScatterRoundRobin(work[a.Name])
 	}
+	trace.Annotatef(c, "yannakakis.GYM %s (%d atoms)", q.Name, len(q.Atoms))
 	start := c.Metrics().Rounds()
 	attrsOf := func(i int) []string { return q.Atoms[i].Vars }
 	round := 0
@@ -299,6 +301,7 @@ func GYMOptimized(c *mpc.Cluster, jt *hypergraph.JoinTree, rels map[string]*rela
 	for _, a := range q.Atoms {
 		c.ScatterRoundRobin(work[a.Name])
 	}
+	trace.Annotatef(c, "yannakakis.GYMOptimized %s (depth %d)", q.Name, len(jt.Levels())-1)
 	start := c.Metrics().Rounds()
 	levels := jt.Levels()
 	round := 0
@@ -493,6 +496,7 @@ func IterativeBinaryJoin(c *mpc.Cluster, q hypergraph.Query, rels map[string]*re
 	for _, a := range q.Atoms {
 		c.ScatterRoundRobin(work[a.Name])
 	}
+	trace.Annotatef(c, "yannakakis.IterativeBinaryJoin %s (%d atoms)", q.Name, len(q.Atoms))
 	start := c.Metrics().Rounds()
 	accRel := q.Atoms[0].Name
 	accAttrs := q.Atoms[0].Vars
