@@ -111,6 +111,7 @@ func pad2(i int) string {
 func BenchmarkE21SparseMatMul(b *testing.B) { runExperiment(b, "E21") }
 func BenchmarkE22BigJoin(b *testing.B)      { runExperiment(b, "E22") }
 func BenchmarkE23ShareSweep(b *testing.B)   { runExperiment(b, "E23") }
+func BenchmarkE24PlannerAcc(b *testing.B)   { runExperiment(b, "E24") }
 func BenchmarkA07BigJoinOrder(b *testing.B) { runExperiment(b, "A07") }
 
 // BenchmarkMPCShuffle times the simulator's round engine through the

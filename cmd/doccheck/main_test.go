@@ -1,0 +1,127 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, root, name, content string) {
+	t.Helper()
+	path := filepath.Join(root, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckMarkdownLinks(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "README.md", strings.Join([]string{
+		"# Title",
+		"## Query planning",
+		"See [the guide](docs/guide.md) and [planning](#query-planning).",
+		"Broken: [missing](nope.md) and [bad anchor](docs/guide.md#nowhere).",
+		"External [ok](https://example.com/x#y).",
+		"```",
+		"[not a link](also-missing.md)",
+		"```",
+		"Inline `[code](ignored.md)` span.",
+	}, "\n"))
+	write(t, root, "docs/guide.md", "# Guide\n## The (L, r, C) model\nBack to [readme](../README.md#query-planning).\n")
+
+	problems, err := CheckMarkdown(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("want 2 problems, got %d: %v", len(problems), problems)
+	}
+	if !strings.Contains(problems[0], "nope.md") {
+		t.Errorf("first problem should be the missing file: %v", problems[0])
+	}
+	if !strings.Contains(problems[1], "#nowhere") {
+		t.Errorf("second problem should be the bad anchor: %v", problems[1])
+	}
+}
+
+func TestCheckMarkdownAnchorSlugs(t *testing.T) {
+	root := t.TempDir()
+	// Punctuation is dropped, spaces hyphenate, duplicates get -N.
+	write(t, root, "a.md", strings.Join([]string{
+		"# The (L, r, C) model",
+		"## Setup",
+		"## Setup",
+		"[one](b.md#the-l-r-c-model)",
+		"[two](b.md#setup-1)",
+	}, "\n"))
+	write(t, root, "b.md", "# The (L, r, C) model\n## Setup\n## Setup\n")
+	problems, err := CheckMarkdown(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("want no problems, got %v", problems)
+	}
+}
+
+func TestCheckMarkdownSkipsRetrievalArtifacts(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "SNIPPETS.md", "[dead](gone.md)\n")
+	write(t, root, "PAPERS.md", "[dead](gone.md)\n")
+	write(t, root, "PAPER.md", "[dead](gone.md)\n")
+	problems, err := CheckMarkdown(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("retrieval artifacts must not be scanned as sources, got %v", problems)
+	}
+}
+
+func TestCheckPackageDocs(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "good/good.go", "// Package good is documented.\npackage good\n")
+	write(t, root, "bad/bad.go", "package bad\n")
+	write(t, root, "testonly/x_test.go", "package testonly\n")
+	problems, err := CheckPackageDocs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "bad") {
+		t.Fatalf("want exactly the undocumented package flagged, got %v", problems)
+	}
+}
+
+func TestRepoIsClean(t *testing.T) {
+	// The gate CI runs, run as a test too: the repo's own docs and
+	// package comments must stay clean.
+	root := repoRoot(t)
+	if problems, err := CheckMarkdown(root); err != nil || len(problems) != 0 {
+		t.Errorf("CheckMarkdown: err=%v problems=%v", err, problems)
+	}
+	if problems, err := CheckPackageDocs(root); err != nil || len(problems) != 0 {
+		t.Errorf("CheckPackageDocs: err=%v problems=%v", err, problems)
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

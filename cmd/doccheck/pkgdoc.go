@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CheckPackageDocs verifies that every Go package in the repository
+// carries a package-level doc comment on at least one of its non-test
+// files — the invariant godoc renders and the ARCHITECTURE.md map
+// relies on. Directories containing only test files are skipped.
+func CheckPackageDocs(root string) ([]string, error) {
+	dirs := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			dirs[dir] = append(dirs[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	fset := token.NewFileSet()
+	for dir, files := range dirs {
+		documented := false
+		for _, f := range files {
+			af, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %w", f, err)
+			}
+			if af.Doc != nil && strings.TrimSpace(af.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			rel, _ := filepath.Rel(root, dir)
+			problems = append(problems, fmt.Sprintf("%s: package has no package-level doc comment", rel))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}

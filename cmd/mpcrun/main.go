@@ -8,6 +8,7 @@
 //	mpcrun -query path4 -n 10000 -p 32 -alg gym-opt -verbose
 //	mpcrun -q 'R(x,y), S(y,z), T(z,x)' -n 5000 -p 27
 //	mpcrun -q 'E(a,b), F(b,c)' -data ./csvdir -p 8
+//	mpcrun -query triangle -n 5000 -p 27 -explain
 //
 // Queries: triangle, join2, rst, path<k>, star<k>, cycle<k>, or an
 // arbitrary conjunctive query body via -q. With -data, each atom's
@@ -23,6 +24,12 @@
 // replay. A recovered run reports the exact output and (L, r, C) of the
 // fault-free run plus a recovery summary; an unrecovered one exits
 // non-zero with the spec that reproduces it.
+//
+// With -explain the cost-based planner (internal/plan) evaluates every
+// candidate strategy against statistics collected from the actual
+// input, prints the full candidate listing — predicted (L, r, C) per
+// candidate and the rejection reason for each loser — and exits
+// without executing. -rounds caps the planner's round budget.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"mpcquery/internal/core"
 	"mpcquery/internal/cost"
 	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/plan"
 	"mpcquery/internal/relation"
 	"mpcquery/internal/trace"
 	"mpcquery/internal/workload"
@@ -52,6 +60,8 @@ func main() {
 	skew := flag.String("skew", "none", "generated data skew: none, zipf, heavy")
 	seed := flag.Int64("seed", 1, "random seed")
 	chaosSpec := flag.String("chaos", "", "fault schedule seed[:drop=r,dup=r,crash=r,straggle=r,delay=n,persist=n,attempts=n]")
+	explain := flag.Bool("explain", false, "print the cost-based plan listing (predicted L, r, C per candidate) and exit without executing")
+	rounds := flag.Int("rounds", 0, "round budget for -explain planning (0 = unlimited)")
 	traceFile := flag.String("trace", "", "write an execution trace to this file (.jsonl → JSON lines, otherwise Chrome trace_event for Perfetto/chrome://tracing)")
 	verbose := flag.Bool("verbose", false, "print per-round metrics")
 	flag.Parse()
@@ -76,6 +86,21 @@ func main() {
 		}
 	} else {
 		rels = generate(q, *n, *skew, *seed)
+	}
+	if *explain {
+		pl, perr := plan.For(q, rels, *p, plan.Options{MaxRounds: *rounds})
+		if pl == nil {
+			fmt.Fprintln(os.Stderr, "mpcrun:", perr)
+			os.Exit(1)
+		}
+		fmt.Print(pl.Explain())
+		if perr != nil {
+			// The listing itself is still useful when every candidate was
+			// rejected (e.g. an impossible round budget).
+			fmt.Fprintln(os.Stderr, "mpcrun:", perr)
+			os.Exit(1)
+		}
+		return
 	}
 	engine := core.NewEngine(*p, *seed)
 	var sched *chaos.Schedule

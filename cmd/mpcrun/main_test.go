@@ -10,6 +10,7 @@ import (
 
 	"mpcquery/internal/chaos"
 	"mpcquery/internal/core"
+	"mpcquery/internal/plan"
 	"mpcquery/internal/stats"
 	"mpcquery/internal/trace"
 )
@@ -240,4 +241,34 @@ func TestTraceViaEngine(t *testing.T) {
 	// writeTrace without a path or recorder is a no-op, not a crash.
 	writeTrace("", rec)
 	writeTrace(filepath.Join(dir, "x.jsonl"), nil)
+}
+
+// TestExplainViaPlanner exercises the -explain path: plan the triangle
+// query over generated inputs and check the listing shows at least
+// three applicable candidates, each with a predicted (L, r, C).
+func TestExplainViaPlanner(t *testing.T) {
+	q, err := parseQuery("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := generate(q, 500, "none", 1)
+	pl, err := plan.For(q, rels, 8, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applicable := 0
+	for _, c := range pl.Candidates {
+		if c.Applicable {
+			applicable++
+		}
+	}
+	if applicable < 3 {
+		t.Fatalf("triangle has %d applicable candidates, want >= 3\n%s", applicable, pl.Explain())
+	}
+	out := pl.Explain()
+	for _, want := range []string{"candidates:", "L≈", "r=", "C≈", "chosen: "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN output missing %q:\n%s", want, out)
+		}
+	}
 }

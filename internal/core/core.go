@@ -131,7 +131,7 @@ func (e *Engine) Plan(req Request) (Algorithm, string, error) {
 		in += req.Relations[a.Name].Len()
 	}
 	// Two-way binary join?
-	if isTwoWayBinary(q) {
+	if y, ok := q.TwoWayJoinVar(); ok {
 		r := req.Relations[q.Atoms[0].Name]
 		s := req.Relations[q.Atoms[1].Name]
 		small := r.Len()
@@ -141,7 +141,6 @@ func (e *Engine) Plan(req Request) (Algorithm, string, error) {
 		if small*e.P <= in {
 			return AlgBroadcast, fmt.Sprintf("small side (%d tuples) ≤ IN/p = %d: broadcast it", small, in/e.P), nil
 		}
-		y := relation.SharedAttrs(rename(q.Atoms[0], r), rename(q.Atoms[1], s))[0]
 		threshold := in / e.P
 		if threshold < 1 {
 			threshold = 1
@@ -221,7 +220,7 @@ func (e *Engine) Execute(req Request) (*Execution, error) {
 	const outName = "out"
 	switch alg {
 	case AlgHashJoin, AlgBroadcast, AlgSkewJoin, AlgSortJoin:
-		if !isTwoWayBinary(q) {
+		if _, ok := q.TwoWayJoinVar(); !ok {
 			return nil, fmt.Errorf("core: %s requires a two-way binary join, got %s", alg, q)
 		}
 		r := rename(q.Atoms[0], req.Relations[q.Atoms[0].Name])
@@ -396,21 +395,6 @@ func validate(req Request) error {
 		}
 	}
 	return nil
-}
-
-// isTwoWayBinary reports whether q is a binary-relation two-way join
-// R(x,y) ⋈ S(y,z) the join2 algorithms handle.
-func isTwoWayBinary(q hypergraph.Query) bool {
-	if len(q.Atoms) != 2 || len(q.Atoms[0].Vars) != 2 || len(q.Atoms[1].Vars) != 2 {
-		return false
-	}
-	shared := 0
-	for _, v := range q.Atoms[0].Vars {
-		if q.Atoms[1].HasVar(v) {
-			shared++
-		}
-	}
-	return shared == 1
 }
 
 // rename returns rel with its columns renamed to the atom's variables.

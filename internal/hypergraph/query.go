@@ -111,6 +111,27 @@ func (q Query) AtomsWithVar(v string) []int {
 	return out
 }
 
+// TwoWayJoinVar reports whether q is a two-way binary join
+// R(x,y) ⋈ S(y,z) — two binary atoms sharing exactly one variable, the
+// shape the join2 algorithms handle — and returns the shared variable.
+func (q Query) TwoWayJoinVar() (string, bool) {
+	if len(q.Atoms) != 2 || len(q.Atoms[0].Vars) != 2 || len(q.Atoms[1].Vars) != 2 {
+		return "", false
+	}
+	shared := ""
+	n := 0
+	for _, v := range q.Atoms[0].Vars {
+		if q.Atoms[1].HasVar(v) {
+			shared = v
+			n++
+		}
+	}
+	if n != 1 {
+		return "", false
+	}
+	return shared, true
+}
+
 func (q Query) String() string {
 	parts := make([]string, len(q.Atoms))
 	for i, a := range q.Atoms {

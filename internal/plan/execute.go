@@ -1,0 +1,67 @@
+package plan
+
+import (
+	"fmt"
+
+	"mpcquery/internal/core"
+	"mpcquery/internal/relation"
+)
+
+// Result is a self-validating execution: the metered costs of the
+// chosen plan next to what the planner predicted for it. Ratio is the
+// cost model's report card — it should hover near 1; the planner
+// harness (internal/testkit) asserts the chosen plan's measured load is
+// never worse than 2× the best measured candidate.
+type Result struct {
+	Plan *Plan
+	Exec *core.Execution
+	// PredictedL is the chosen candidate's predicted per-round load.
+	PredictedL float64
+	// MeasuredL is the metered max per-server per-round load.
+	MeasuredL int64
+	// Ratio is PredictedL / max(MeasuredL, 1).
+	Ratio float64
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: predicted L≈%.4g, measured L=%d (ratio %.2f), r=%d, C=%d",
+		r.Exec.Algorithm, r.PredictedL, r.MeasuredL, r.Ratio, r.Exec.Rounds, r.Exec.TotalComm)
+}
+
+// Execute runs the chosen plan on the engine and validates the
+// prediction against the metered load. The relations must be the ones
+// the statistics were collected from (keyed by atom name, columns
+// positional to the atom's variables).
+func (pl *Plan) Execute(e *core.Engine, rels map[string]*relation.Relation) (*Result, error) {
+	best := pl.Best()
+	if best == nil {
+		return nil, fmt.Errorf("plan: no chosen candidate to execute")
+	}
+	req := core.Request{
+		Query:     pl.Stats.Query,
+		Relations: rels,
+		Algorithm: core.Algorithm(best.Alg),
+	}
+	var exec *core.Execution
+	var err error
+	if pl.Opts.Aggregate != nil {
+		exec, err = e.ExecuteAggregate(req, *pl.Opts.Aggregate)
+	} else {
+		exec, err = e.Execute(req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	measured := exec.MaxLoad
+	den := measured
+	if den < 1 {
+		den = 1
+	}
+	return &Result{
+		Plan:       pl,
+		Exec:       exec,
+		PredictedL: best.Est.L,
+		MeasuredL:  measured,
+		Ratio:      best.Est.L / float64(den),
+	}, nil
+}

@@ -42,7 +42,7 @@ func (cfg Config) withChaosDefaults() Config {
 	if len(cfg.Seeds) == 0 {
 		cfg.Seeds = []int64{1, 2}
 	}
-	return cfg.withDefaults()
+	return cfg.WithDefaults()
 }
 
 // NewChaosCluster builds a cluster with the fault schedule parsed from

@@ -57,7 +57,7 @@ func DefaultConfig() Config {
 	}
 }
 
-func (cfg Config) withDefaults() Config {
+func (cfg Config) WithDefaults() Config {
 	def := DefaultConfig()
 	if len(cfg.Ps) == 0 {
 		cfg.Ps = def.Ps
@@ -107,7 +107,7 @@ func InputSize(q hypergraph.Query, rels map[string]*relation.Relation) int64 {
 //     (SkewNone) instances, when cfg.LoadFactor is set.
 func RunDiff(t *testing.T, q hypergraph.Query, cfg Config, alg Algo) {
 	t.Helper()
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	for _, skew := range cfg.Skews {
 		for _, p := range cfg.Ps {
 			for _, seed := range cfg.Seeds {
@@ -148,7 +148,7 @@ func RunDiff(t *testing.T, q hypergraph.Query, cfg Config, alg Algo) {
 // (sorting, aggregation, matrix multiplication).
 func Sweep(t *testing.T, cfg Config, fn func(t *testing.T, p int, seed int64, skew Skew)) {
 	t.Helper()
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	for _, skew := range cfg.Skews {
 		for _, p := range cfg.Ps {
 			for _, seed := range cfg.Seeds {

@@ -1,0 +1,28 @@
+package plannertest
+
+import (
+	"testing"
+
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/testkit"
+)
+
+// The planner's competitive guarantee — chosen plan never worse than
+// 2× the best measured candidate — swept over uniform and Zipf inputs
+// for the tutorial's standard query shapes.
+
+func TestPlannerCompetitiveTwoWay(t *testing.T) {
+	RunPlannerDiff(t, hypergraph.TwoWayJoin(), testkit.Config{})
+}
+
+func TestPlannerCompetitiveTriangle(t *testing.T) {
+	RunPlannerDiff(t, hypergraph.Triangle(), testkit.Config{})
+}
+
+func TestPlannerCompetitivePath(t *testing.T) {
+	RunPlannerDiff(t, hypergraph.Path(4), testkit.Config{})
+}
+
+func TestPlannerCompetitiveStar(t *testing.T) {
+	RunPlannerDiff(t, hypergraph.Star(3), testkit.Config{})
+}
