@@ -30,6 +30,14 @@
 // input, prints the full candidate listing — predicted (L, r, C) per
 // candidate and the rejection reason for each loser — and exits
 // without executing. -rounds caps the planner's round budget.
+//
+// With -transport=tcp (e.g. mpcrun -query triangle -n 5000 -p 27
+// -transport=tcp -net-workers 4) round delivery runs over the mpcnet
+// TCP backend: mpcrun re-executes itself as worker subprocesses, each
+// owning a destination shard, and every delivered fragment crosses real
+// sockets. Conforming transports are observably identical, so the
+// output and the (L, r, C) report are bit-for-bit those of the default
+// -transport=local; only the physical delivery path changes.
 package main
 
 import (
@@ -63,8 +71,16 @@ func main() {
 	explain := flag.Bool("explain", false, "print the cost-based plan listing (predicted L, r, C per candidate) and exit without executing")
 	rounds := flag.Int("rounds", 0, "round budget for -explain planning (0 = unlimited)")
 	traceFile := flag.String("trace", "", "write an execution trace to this file (.jsonl → JSON lines, otherwise Chrome trace_event for Perfetto/chrome://tracing)")
+	transport := flag.String("transport", "local", "round delivery backend: local (in-process) or tcp (worker subprocesses over real sockets)")
+	netWorkers := flag.Int("net-workers", 0, "worker processes for -transport=tcp (0 = min(p, 4))")
+	netWorker := flag.Bool("net-worker", false, "run as an mpcnet worker process (internal, used by -transport=tcp)")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address in -net-worker mode")
 	verbose := flag.Bool("verbose", false, "print per-round metrics")
 	flag.Parse()
+
+	if *netWorker {
+		os.Exit(runNetWorker(*listen))
+	}
 
 	var q hypergraph.Query
 	var err error
@@ -103,6 +119,29 @@ func main() {
 		return
 	}
 	engine := core.NewEngine(*p, *seed)
+	transportDesc := "local (in-process)"
+	switch *transport {
+	case "local":
+	case "tcp":
+		tr, cleanup, terr := spawnTCPTransport(*p, *netWorkers)
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, "mpcrun: tcp transport:", terr)
+			os.Exit(1)
+		}
+		defer cleanup()
+		engine.Transport = tr
+		w := *netWorkers
+		if w <= 0 {
+			w = *p
+			if w > 4 {
+				w = 4
+			}
+		}
+		transportDesc = fmt.Sprintf("tcp (%d worker processes)", w)
+	default:
+		fmt.Fprintln(os.Stderr, "mpcrun: unknown -transport", *transport)
+		os.Exit(1)
+	}
 	var sched *chaos.Schedule
 	if *chaosSpec != "" {
 		sched, err = chaos.ParseSchedule(*chaosSpec)
@@ -145,6 +184,7 @@ func main() {
 	}
 	fmt.Printf("query      %s\n", q)
 	fmt.Printf("servers    p = %d, IN = %d tuples\n", *p, in)
+	fmt.Printf("transport  %s\n", transportDesc)
 	fmt.Printf("algorithm  %s (%s)\n", exec.Algorithm, exec.Reason)
 	fmt.Printf("output     %d tuples\n", exec.Output.Len())
 	fmt.Printf("cost       L = %d tuples/server/round, r = %d rounds, C = %d tuples total\n",

@@ -1,0 +1,38 @@
+package aggregate
+
+import (
+	"testing"
+
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/testkit"
+)
+
+// Cross-backend differential tests: grouped aggregation is outside the
+// conjunctive-query harness, so SweepBackends runs the same workload on
+// the in-process engine and the TCP transport and asserts the runs
+// indistinguishable. The combiner path exercises pre-aggregated partial
+// streams; the ablation ships raw tuples (the heaviest shuffle here).
+
+func aggBackendWorkload(fn relation.AggFunc, combiner bool) func(t *testing.T, c *mpc.Cluster, p int, seed int64, skew testkit.Skew) {
+	return func(t *testing.T, c *mpc.Cluster, p int, seed int64, skew testkit.Skew) {
+		rel := testkit.GenRelation("R", []string{"g", "v"}, skew, testkit.GenConfig{Tuples: 200}, seed)
+		c.ScatterRoundRobin(rel)
+		_, err := Run(c, Spec{
+			Rel: "R", GroupBy: []string{"g"}, Fn: fn,
+			AggAttr: "v", OutAttr: "a", OutRel: "out",
+			Seed: uint64(seed), NoCombiner: !combiner,
+		})
+		if err != nil {
+			t.Fatalf("aggregate: %v", err)
+		}
+	}
+}
+
+func TestAggregateBackendDiff(t *testing.T) {
+	testkit.SweepBackends(t, testkit.Config{}, aggBackendWorkload(relation.Sum, true))
+}
+
+func TestAggregateNoCombinerBackendDiff(t *testing.T) {
+	testkit.SweepBackends(t, testkit.Config{}, aggBackendWorkload(relation.Max, false))
+}

@@ -81,6 +81,13 @@ type Engine struct {
 	// events (and, under Chaos, the recovery events) to the recorder;
 	// export with trace.WriteJSONL or trace.WriteChrome.
 	Trace *trace.Recorder
+	// Transport, when non-nil, routes every cluster's round delivery
+	// through this backend (typically an *mpcnet.Transport dialed for P
+	// servers) instead of the built-in in-process engine. Conforming
+	// transports are observably identical — same output, (L, r, C), and
+	// trace events — so this selects *where bytes move*, never *what the
+	// simulation computes*. The engine does not close the transport.
+	Transport mpc.Transport
 }
 
 // NewEngine returns an engine for a p-server cluster.
@@ -199,6 +206,9 @@ func (e *Engine) newCluster() *mpc.Cluster {
 	}
 	if e.Trace != nil {
 		c.SetTracer(e.Trace)
+	}
+	if e.Transport != nil {
+		c.SetTransport(e.Transport)
 	}
 	return c
 }

@@ -62,6 +62,11 @@ type Cluster struct {
 	// whose recovery exhausted its replay budget.
 	faults FaultInjector
 	failed *RecoveryFailure
+	// transport, when non-nil, commits rounds through an attached
+	// delivery backend (see transport.go) instead of the built-in
+	// in-process engine. Everything observable — fragments, metering,
+	// traces — is identical across conforming transports.
+	transport Transport
 	// tracer, when non-nil, records structured round events (see
 	// internal/trace). The entire cost on an untraced cluster is the
 	// nil checks in Round.
@@ -437,19 +442,35 @@ func (c *Cluster) deliver(name string, outs []*Out) {
 	c.deliverCommit(name, outs)
 }
 
-// deliverCommit moves round outputs into destination servers and records
-// load metrics. Destinations are independent — server dst's inbox is the
-// concatenation of fragments addressed to dst, in canonical order — so
-// delivery fans out across worker goroutines, each owning a disjoint
-// set of destinations.
+// deliverCommit commits a round: it routes the outs through the
+// delivery backend — the test-only reference loop, an attached
+// Transport, or the built-in local engine — and records the metered
+// load. Whatever the backend, the committed state is a pure function of
+// the outs, so backends are interchangeable without observable effect.
 func (c *Cluster) deliverCommit(name string, outs []*Out) {
 	recv := make([]int64, c.p)
 	recvWords := make([]int64, c.p)
-	if c.refDeliver {
+	switch {
+	case c.refDeliver:
 		c.deliverReference(name, outs, recv, recvWords)
-		c.metrics.record(name, recv, recvWords)
-		return
+	case c.transport != nil:
+		v := &RoundView{c: c, name: name, outs: outs, recv: recv, recvWords: recvWords}
+		if err := c.transport.Deliver(v); err != nil {
+			panic(fmt.Sprintf("mpc: round %q: transport delivery failed: %v", name, err))
+		}
+	default:
+		c.deliverLocal(name, outs, recv, recvWords)
 	}
+	c.metrics.record(name, recv, recvWords)
+}
+
+// deliverLocal is the built-in in-process delivery engine: it moves
+// round outputs into destination servers with exact metering.
+// Destinations are independent — server dst's inbox is the
+// concatenation of fragments addressed to dst, in canonical order — so
+// delivery fans out across worker goroutines, each owning a disjoint
+// set of destinations.
+func (c *Cluster) deliverLocal(name string, outs []*Out, recv, recvWords []int64) {
 	workers := c.deliverWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -525,7 +546,6 @@ func (c *Cluster) deliverCommit(name string, outs []*Out) {
 				}
 			}
 		}
-		c.metrics.record(name, recv, recvWords)
 		return
 	}
 	var next atomic.Int64
@@ -556,7 +576,6 @@ func (c *Cluster) deliverCommit(name string, outs []*Out) {
 			panic(p)
 		}
 	}
-	c.metrics.record(name, recv, recvWords)
 }
 
 // deliverPlan is the driver-side prepass result for one stream name:

@@ -1,0 +1,44 @@
+package mpcnet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/mpcnet"
+	"mpcquery/internal/relation"
+)
+
+// BenchmarkDeliverTCP measures a full round trip through the TCP
+// backend on loopback workers: encode, ship, barrier, echo, land. The
+// local BenchmarkDeliver in internal/mpc is the apples-to-apples
+// baseline for what the wire costs; BENCH_BASELINE.json tracks both.
+func BenchmarkDeliverTCP(b *testing.B) {
+	const tuples = 1 << 15 // cluster-wide tuples per round
+	for _, p := range []int{4, 8} {
+		p := p
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			tr, err := mpcnet.NewLoopback(p, mpcnet.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tr.Close()
+			c := mpc.NewCluster(p, 1)
+			c.SetTransport(tr)
+			per := tuples / p
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Round("shuffle", func(s *mpc.Server, out *mpc.Out) {
+					st := out.Open("T", "a", "b")
+					for j := 0; j < per; j++ {
+						st.Send((s.ID()+j)%s.P(), relation.Value(j), relation.Value(s.ID()))
+					}
+				})
+				b.StopTimer()
+				c.DeleteAll("T")
+				c.ResetMetrics()
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -1,0 +1,377 @@
+// Wire format of the TCP transport.
+//
+// Every message on a driver↔worker connection is one frame: a uvarint
+// byte length followed by that many payload bytes, of which the first
+// is the frame kind. Multi-byte integers inside payloads are unsigned
+// varints; attribute values use the repository value codec
+// (relation.AppendValue — zig-zag varint). The format is
+// self-contained per frame: a DATA frame carries a string table of the
+// unique strings it references (stream name and attributes, in first-
+// occurrence order) so the payload never repeats a string and a decoder
+// never needs cross-frame state.
+//
+//	HELLO    kind=1  version, p, nworkers, workerIdx
+//	HELLOACK kind=2  version
+//	DATA     kind=3  dst, nstrings, strings..., nameIdx,
+//	                 arity, attrIdx..., tuples, values...
+//	FLUSH    kind=4  seq
+//	END      kind=5  seq, frames
+//	BYE      kind=6  (empty)
+//
+// Decoding is strict and allocation-safe on hostile input: every
+// claimed count is validated against the bytes actually remaining
+// before anything is allocated (each string and each value occupies at
+// least one byte), truncated or trailing bytes are errors, and frames
+// above maxFrameBytes are rejected at the length prefix. The fuzz
+// targets in fuzz_test.go pin these properties.
+package mpcnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"mpcquery/internal/relation"
+)
+
+// protoVersion is bumped on any incompatible wire change; HELLO and
+// HELLOACK must agree on it.
+const protoVersion = 1
+
+// maxFrameBytes bounds a single frame. The driver's chunking (Options.
+// MaxFrameTuples) keeps real frames far below it; the decoder uses it
+// to refuse hostile length prefixes before allocating.
+const maxFrameBytes = 1 << 24
+
+// Frame kinds.
+const (
+	kindHello    = 1
+	kindHelloAck = 2
+	kindData     = 3
+	kindFlush    = 4
+	kindEnd      = 5
+	kindBye      = 6
+)
+
+// writeFrame writes one length-prefixed frame. The caller flushes.
+func writeFrame(w *bufio.Writer, payload []byte) error {
+	if len(payload) == 0 || len(payload) > maxFrameBytes {
+		return fmt.Errorf("mpcnet: frame of %d bytes", len(payload))
+	}
+	var lenbuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenbuf[:], uint64(len(payload)))
+	if _, err := w.Write(lenbuf[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame, rejecting empty and
+// oversized frames before allocating.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > maxFrameBytes {
+		return nil, fmt.Errorf("mpcnet: frame length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// appendUint appends a uvarint.
+func appendUint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+// cursor decodes a payload front to back with bounds checking.
+type cursor struct{ b []byte }
+
+func (c *cursor) uint() (uint64, error) {
+	v, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("mpcnet: truncated varint")
+	}
+	c.b = c.b[n:]
+	return v, nil
+}
+
+// count decodes a uvarint that claims howMany items of at least
+// minBytes bytes each and rejects claims the remaining payload cannot
+// hold — the guard that makes decoding allocation-safe.
+func (c *cursor) count(minBytes int, what string) (int, error) {
+	v, err := c.uint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(c.b))/uint64(minBytes) {
+		return 0, fmt.Errorf("mpcnet: %s count %d exceeds %d remaining bytes", what, v, len(c.b))
+	}
+	return int(v), nil
+}
+
+func (c *cursor) str() (string, error) {
+	n, err := c.count(1, "string byte")
+	if err != nil {
+		return "", err
+	}
+	if n > len(c.b) {
+		return "", fmt.Errorf("mpcnet: string of %d bytes, %d remaining", n, len(c.b))
+	}
+	s := string(c.b[:n])
+	c.b = c.b[n:]
+	return s, nil
+}
+
+func (c *cursor) done() error {
+	if len(c.b) != 0 {
+		return fmt.Errorf("mpcnet: %d trailing bytes", len(c.b))
+	}
+	return nil
+}
+
+// hello is the handshake: the driver announces the protocol version,
+// cluster size, worker count, and which shard this worker owns.
+type hello struct {
+	version, p, nworkers, workerIdx int
+}
+
+func appendHello(b []byte, h hello) []byte {
+	b = append(b, kindHello)
+	b = appendUint(b, uint64(h.version))
+	b = appendUint(b, uint64(h.p))
+	b = appendUint(b, uint64(h.nworkers))
+	return appendUint(b, uint64(h.workerIdx))
+}
+
+func decodeHello(payload []byte) (hello, error) {
+	var h hello
+	if len(payload) == 0 || payload[0] != kindHello {
+		return h, fmt.Errorf("mpcnet: not a HELLO frame")
+	}
+	c := cursor{payload[1:]}
+	fields := []*int{&h.version, &h.p, &h.nworkers, &h.workerIdx}
+	for _, f := range fields {
+		v, err := c.uint()
+		if err != nil {
+			return h, err
+		}
+		if v > math.MaxInt32 {
+			return h, fmt.Errorf("mpcnet: HELLO field %d out of range", v)
+		}
+		*f = int(v)
+	}
+	if h.p < 1 || h.nworkers < 1 || h.workerIdx < 0 || h.workerIdx >= h.nworkers {
+		return h, fmt.Errorf("mpcnet: HELLO p=%d nworkers=%d idx=%d", h.p, h.nworkers, h.workerIdx)
+	}
+	return h, c.done()
+}
+
+func appendHelloAck(b []byte, version int) []byte {
+	return appendUint(append(b, kindHelloAck), uint64(version))
+}
+
+func decodeHelloAck(payload []byte) (int, error) {
+	if len(payload) == 0 || payload[0] != kindHelloAck {
+		return 0, fmt.Errorf("mpcnet: not a HELLOACK frame")
+	}
+	c := cursor{payload[1:]}
+	v, err := c.uint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("mpcnet: HELLOACK version %d", v)
+	}
+	if err := c.done(); err != nil {
+		return 0, err
+	}
+	return int(v), nil
+}
+
+// dataFrame is one decoded DATA frame: a whole fragment or one chunk of
+// one, addressed to a single destination server.
+type dataFrame struct {
+	dst    int
+	name   string
+	attrs  []string
+	flat   []relation.Value
+	tuples int64
+}
+
+// appendData encodes one fragment chunk. flat must hold exactly
+// tuples×len(attrs) values.
+func appendData(b []byte, dst int, name string, attrs []string, flat []relation.Value, tuples int64) []byte {
+	b = append(b, kindData)
+	b = appendUint(b, uint64(dst))
+	// String table: unique strings in first-occurrence order over
+	// (name, attrs...); then indices into it.
+	table := make([]string, 0, 1+len(attrs))
+	idx := make(map[string]int, 1+len(attrs))
+	intern := func(s string) int {
+		if i, ok := idx[s]; ok {
+			return i
+		}
+		idx[s] = len(table)
+		table = append(table, s)
+		return len(table) - 1
+	}
+	nameIdx := intern(name)
+	attrIdx := make([]int, len(attrs))
+	for i, a := range attrs {
+		attrIdx[i] = intern(a)
+	}
+	b = appendUint(b, uint64(len(table)))
+	for _, s := range table {
+		b = appendUint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	b = appendUint(b, uint64(nameIdx))
+	b = appendUint(b, uint64(len(attrs)))
+	for _, i := range attrIdx {
+		b = appendUint(b, uint64(i))
+	}
+	b = appendUint(b, uint64(tuples))
+	return relation.AppendValues(b, flat)
+}
+
+func decodeData(payload []byte) (dataFrame, error) {
+	var df dataFrame
+	if len(payload) == 0 || payload[0] != kindData {
+		return df, fmt.Errorf("mpcnet: not a DATA frame")
+	}
+	c := cursor{payload[1:]}
+	dst, err := c.uint()
+	if err != nil {
+		return df, err
+	}
+	if dst > math.MaxInt32 {
+		return df, fmt.Errorf("mpcnet: DATA dst %d", dst)
+	}
+	df.dst = int(dst)
+	nstr, err := c.count(1, "string")
+	if err != nil {
+		return df, err
+	}
+	table := make([]string, nstr)
+	for i := range table {
+		if table[i], err = c.str(); err != nil {
+			return df, err
+		}
+	}
+	nameIdx, err := c.uint()
+	if err != nil {
+		return df, err
+	}
+	if nameIdx >= uint64(nstr) {
+		return df, fmt.Errorf("mpcnet: DATA name index %d of %d strings", nameIdx, nstr)
+	}
+	df.name = table[nameIdx]
+	arity, err := c.count(1, "attribute")
+	if err != nil {
+		return df, err
+	}
+	df.attrs = make([]string, arity)
+	for i := range df.attrs {
+		ai, err := c.uint()
+		if err != nil {
+			return df, err
+		}
+		if ai >= uint64(nstr) {
+			return df, fmt.Errorf("mpcnet: DATA attr index %d of %d strings", ai, nstr)
+		}
+		df.attrs[i] = table[ai]
+	}
+	tuples, err := c.uint()
+	if err != nil {
+		return df, err
+	}
+	if tuples == 0 {
+		return df, fmt.Errorf("mpcnet: DATA frame with 0 tuples")
+	}
+	if arity > 0 && tuples > uint64(len(c.b))/uint64(arity) {
+		return df, fmt.Errorf("mpcnet: DATA claims %d×%d values, %d bytes remain", tuples, arity, len(c.b))
+	}
+	df.tuples = int64(tuples)
+	if words := int(tuples) * arity; words > 0 {
+		vals, n, ok := relation.ConsumeValues(make([]relation.Value, 0, words), c.b, words)
+		if !ok {
+			return df, fmt.Errorf("mpcnet: DATA values truncated")
+		}
+		df.flat, c.b = vals, c.b[n:]
+	}
+	return df, c.done()
+}
+
+func appendFlush(b []byte, seq uint64) []byte {
+	return appendUint(append(b, kindFlush), seq)
+}
+
+func decodeFlush(payload []byte) (uint64, error) {
+	if len(payload) == 0 || payload[0] != kindFlush {
+		return 0, fmt.Errorf("mpcnet: not a FLUSH frame")
+	}
+	c := cursor{payload[1:]}
+	seq, err := c.uint()
+	if err != nil {
+		return 0, err
+	}
+	return seq, c.done()
+}
+
+func appendEnd(b []byte, seq uint64, frames int) []byte {
+	return appendUint(appendUint(append(b, kindEnd), seq), uint64(frames))
+}
+
+func decodeEnd(payload []byte) (seq uint64, frames int, err error) {
+	if len(payload) == 0 || payload[0] != kindEnd {
+		return 0, 0, fmt.Errorf("mpcnet: not an END frame")
+	}
+	c := cursor{payload[1:]}
+	if seq, err = c.uint(); err != nil {
+		return 0, 0, err
+	}
+	f, err := c.uint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if f > math.MaxInt32 {
+		return 0, 0, fmt.Errorf("mpcnet: END frame count %d", f)
+	}
+	return seq, int(f), c.done()
+}
+
+func appendBye(b []byte) []byte { return append(b, kindBye) }
+
+// decodePayload dispatches on the kind byte — the single entry point
+// the fuzzers drive so any byte string exercises every decoder.
+func decodePayload(payload []byte) (any, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("mpcnet: empty frame")
+	}
+	switch payload[0] {
+	case kindHello:
+		return decodeHello(payload)
+	case kindHelloAck:
+		return decodeHelloAck(payload)
+	case kindData:
+		return decodeData(payload)
+	case kindFlush:
+		return decodeFlush(payload)
+	case kindEnd:
+		seq, frames, err := decodeEnd(payload)
+		return [2]uint64{seq, uint64(frames)}, err
+	case kindBye:
+		if len(payload) != 1 {
+			return nil, fmt.Errorf("mpcnet: BYE with %d payload bytes", len(payload)-1)
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("mpcnet: unknown frame kind %d", payload[0])
+	}
+}

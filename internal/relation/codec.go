@@ -1,0 +1,64 @@
+// Value codec hooks for wire transports.
+//
+// The MPC model meters communication in tuples and words, but a real
+// transport ships bytes. These helpers define the repository's one
+// binary encoding of attribute values — zig-zag varint, so small
+// magnitudes of either sign stay short — and are shared by every layer
+// that serializes tuples (internal/mpcnet frames today). Keeping the
+// codec next to the Value definition means a change of the value domain
+// and a change of its wire form are the same review.
+
+package relation
+
+import "encoding/binary"
+
+// zigzag folds signed values into unsigned ones with small absolute
+// values mapping to small encodings: 0→0, -1→1, 1→2, -2→3, ...
+func zigzag(v Value) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) Value { return Value(u>>1) ^ -Value(u&1) }
+
+// AppendValue appends the zig-zag varint encoding of v to dst and
+// returns the extended slice. The encoding is 1 byte for values in
+// [-64, 63] and at most 10 bytes for any int64.
+func AppendValue(dst []byte, v Value) []byte {
+	return binary.AppendUvarint(dst, zigzag(v))
+}
+
+// ConsumeValue decodes one value from the front of b, returning the
+// value and the number of bytes consumed. n == 0 reports a malformed or
+// truncated encoding (including varints longer than 10 bytes).
+func ConsumeValue(b []byte) (Value, int) {
+	u, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0
+	}
+	return unzigzag(u), n
+}
+
+// AppendValues appends the encodings of vals in order.
+func AppendValues(dst []byte, vals []Value) []byte {
+	for _, v := range vals {
+		dst = AppendValue(dst, v)
+	}
+	return dst
+}
+
+// ConsumeValues decodes count values from the front of b into dst
+// (appending), returning the extended slice and the bytes consumed.
+// A malformed or truncated stream yields ok == false; dst may then hold
+// a prefix of the decoded values. Decoding never over-allocates on
+// hostile input: each encoded value occupies at least one byte, so
+// callers bounding count by len(b) bound the allocation too.
+func ConsumeValues(dst []Value, b []byte, count int) (vals []Value, n int, ok bool) {
+	for i := 0; i < count; i++ {
+		v, vn := ConsumeValue(b[n:])
+		if vn == 0 {
+			return dst, n, false
+		}
+		dst = append(dst, v)
+		n += vn
+	}
+	return dst, n, true
+}

@@ -1,0 +1,57 @@
+package relation
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	cases := []Value{0, 1, -1, 63, 64, -64, -65, 127, 128, 1 << 20, -(1 << 20),
+		math.MaxInt64, math.MinInt64, math.MinInt64 + 1}
+	for _, v := range cases {
+		b := AppendValue(nil, v)
+		got, n := ConsumeValue(b)
+		if n != len(b) || got != v {
+			t.Errorf("value %d: decoded %d consuming %d of %d bytes", v, got, n, len(b))
+		}
+	}
+}
+
+func TestValueCodecCompactness(t *testing.T) {
+	// Zig-zag keeps small magnitudes of either sign to one byte.
+	for _, v := range []Value{0, 1, -1, 63, -64} {
+		if b := AppendValue(nil, v); len(b) != 1 {
+			t.Errorf("value %d: %d bytes, want 1", v, len(b))
+		}
+	}
+	if b := AppendValue(nil, math.MinInt64); len(b) > 10 {
+		t.Errorf("MinInt64: %d bytes, want ≤ 10", len(b))
+	}
+}
+
+func TestConsumeValuesRoundTrip(t *testing.T) {
+	vals := []Value{5, -7, 0, 1 << 40, -(1 << 40), math.MaxInt64}
+	b := AppendValues(nil, vals)
+	got, n, ok := ConsumeValues(nil, b, len(vals))
+	if !ok || n != len(b) {
+		t.Fatalf("consume: ok=%v n=%d len=%d", ok, n, len(b))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("value %d: got %d, want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestConsumeValueMalformed(t *testing.T) {
+	if _, n := ConsumeValue(nil); n != 0 {
+		t.Errorf("empty input: consumed %d bytes", n)
+	}
+	// A truncated varint (continuation bit set, no next byte).
+	if _, n := ConsumeValue([]byte{0x80}); n != 0 {
+		t.Errorf("truncated varint: consumed %d bytes", n)
+	}
+	if _, _, ok := ConsumeValues(nil, []byte{0x01, 0x80}, 2); ok {
+		t.Error("truncated stream decoded as ok")
+	}
+}

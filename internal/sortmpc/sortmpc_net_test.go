@@ -1,0 +1,36 @@
+package sortmpc
+
+import (
+	"testing"
+
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/testkit"
+)
+
+// Cross-backend differential tests: PSRS's sample exchange (tiny
+// broadcast fragments) and range partition (bulk skewed fragments) must
+// be indistinguishable between the in-process engine and the TCP
+// transport — delivery order matters here, since the concatenated
+// output is compared as a sequence by the fault-free diff tests.
+
+func TestPSRSBackendDiff(t *testing.T) {
+	testkit.SweepBackends(t, testkit.Config{}, func(t *testing.T, c *mpc.Cluster, p int, seed int64, skew testkit.Skew) {
+		rel := genSortInput(skew, 160, seed)
+		c.ScatterRoundRobin(rel)
+		PSRS(c, "R", []string{"k", "uid"}, "out")
+		if err := VerifySorted(c, "out", []string{"k", "uid"}); err != nil {
+			t.Fatalf("VerifySorted: %v", err)
+		}
+	})
+}
+
+func TestFanLimitedSortBackendDiff(t *testing.T) {
+	testkit.SweepBackends(t, testkit.Config{}, func(t *testing.T, c *mpc.Cluster, p int, seed int64, skew testkit.Skew) {
+		rel := genSortInput(skew, 160, seed)
+		c.ScatterRoundRobin(rel)
+		FanLimitedSort(c, "R", []string{"k", "uid"}, "out", 2)
+		if err := VerifySorted(c, "out", []string{"k", "uid"}); err != nil {
+			t.Fatalf("VerifySorted: %v", err)
+		}
+	})
+}
