@@ -90,6 +90,8 @@ func TestGroupOwnership(t *testing.T) {
 	if _, err := Run(c, spec); err != nil {
 		t.Fatal(err)
 	}
+	// EncodeKey is an identity key here (which server owns this group);
+	// nothing depends on the lexicographic order of the encoded strings.
 	seen := map[string]int{}
 	for i := 0; i < c.P(); i++ {
 		frag := c.Server(i).Rel("agg")

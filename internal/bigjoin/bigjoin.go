@@ -65,6 +65,10 @@ func NewPlan(q hypergraph.Query, varOrder []string) (*Plan, error) {
 	if len(varOrder) != len(q.Vars()) {
 		return nil, fmt.Errorf("bigjoin: variable order has %d vars, query has %d", len(varOrder), len(q.Vars()))
 	}
+	// pos/bound/in (below) are membership and position maps over
+	// variable names; no code depends on their iteration order — every
+	// ordered walk goes through varOrder or q.Atoms, and all tuple
+	// comparisons in the executed plan are numeric on Values.
 	pos := map[string]int{}
 	for i, v := range varOrder {
 		if _, dup := pos[v]; dup {

@@ -54,3 +54,51 @@ func FuzzHashRowRouting(f *testing.F) {
 		}
 	})
 }
+
+// FuzzRadixIndex fuzzes the radix hash kernel against the EncodeKey map
+// oracle: for an arbitrary relation (decoded from raw bytes as int64
+// key/payload pairs) and an arbitrary probe key, insert and lookup must
+// agree exactly — same groups, same row ids, same order — including
+// when keys collide in the table's hash buckets.
+func FuzzRadixIndex(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, int64(0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, int64(-1))
+	f.Fuzz(func(t *testing.T, data []byte, probeKey int64) {
+		r := New("F", "k", "v")
+		for i := 0; i+8 <= len(data); i += 8 {
+			var k int64
+			for j := 0; j < 8; j++ {
+				k |= int64(data[i+j]) << (8 * j)
+			}
+			// Narrow part of the key space so collisions actually occur.
+			if k%3 == 0 {
+				k %= 16
+			}
+			r.Append(Value(k), Value(i))
+		}
+		ix := BuildIndex(r, []string{"k"})
+		oracle := map[Value][]int32{}
+		for i := 0; i < r.Len(); i++ {
+			oracle[r.Row(i)[0]] = append(oracle[r.Row(i)[0]], int32(i))
+		}
+		if ix.DistinctKeys() != len(oracle) {
+			t.Fatalf("DistinctKeys = %d, oracle %d", ix.DistinctKeys(), len(oracle))
+		}
+		check := func(key Value) {
+			got := ix.LookupKey([]Value{key})
+			want := oracle[key]
+			if len(got) != len(want) {
+				t.Fatalf("key %d: %d rows, oracle %d", key, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("key %d: rows %v, oracle %v", key, got, want)
+				}
+			}
+		}
+		for k := range oracle {
+			check(k)
+		}
+		check(Value(probeKey))
+	})
+}

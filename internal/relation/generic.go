@@ -15,6 +15,8 @@ func GenericJoin(name string, varOrder []string, rels ...*Relation) *Relation {
 	if len(rels) == 0 {
 		panic("relation: GenericJoin of nothing")
 	}
+	// seen is a membership set over variable names; iteration order is
+	// never relied upon (candidate values are sorted numerically below).
 	seen := map[string]bool{}
 	for _, v := range varOrder {
 		if seen[v] {
@@ -28,6 +30,7 @@ func GenericJoin(name string, varOrder []string, rels ...*Relation) *Relation {
 				panic("relation: GenericJoin variable order misses " + a)
 			}
 		}
+		checkRowCount("GenericJoin", r.Len())
 	}
 	out := New(name, varOrder...)
 	st := &gjState{
@@ -37,8 +40,10 @@ func GenericJoin(name string, varOrder []string, rels ...*Relation) *Relation {
 		state:    make([][]int32, len(rels)),
 		version:  make([]int, len(rels)),
 		binding:  make([]Value, len(varOrder)),
-		cache:    map[gjCacheKey]map[Value][]int32{},
+		cache:    map[gjCacheKey]*valueGroups{},
+		arena:    getArena(),
 	}
+	defer putArena(st.arena)
 	for i, r := range rels {
 		rows := make([]int32, r.Len())
 		for j := range rows {
@@ -55,7 +60,11 @@ func GenericJoin(name string, varOrder []string, rels ...*Relation) *Relation {
 // depth d keeps the same surviving-row set across all of d's candidate
 // values, so its grouping at depth d+1 is computed once, not once per
 // candidate. Cache keys combine (relation, depth, state version), where
-// the version counter ticks on every state replacement.
+// the version counter ticks on every state replacement. Groupings are
+// valueGroups — the open-addressing radix kernel with full value
+// verification — rather than Go maps; cached entries own their storage
+// and live until the join returns, while the arena provides transient
+// per-build scratch.
 type gjState struct {
 	out      *Relation
 	varOrder []string
@@ -64,7 +73,8 @@ type gjState struct {
 	version  []int
 	nextVer  int
 	binding  []Value
-	cache    map[gjCacheKey]map[Value][]int32
+	cache    map[gjCacheKey]*valueGroups
+	arena    *kernelArena
 }
 
 type gjCacheKey struct {
@@ -81,7 +91,7 @@ func (s *gjState) recurse(depth int) {
 	// by v's value.
 	type part struct {
 		ri     int
-		groups map[Value][]int32
+		groups *valueGroups
 	}
 	var parts []part
 	for i, r := range s.rels {
@@ -92,11 +102,7 @@ func (s *gjState) recurse(depth int) {
 		key := gjCacheKey{ri: i, depth: depth, version: s.version[i]}
 		g, ok := s.cache[key]
 		if !ok {
-			g = make(map[Value][]int32)
-			for _, row := range s.state[i] {
-				val := r.Row(int(row))[c]
-				g[val] = append(g[val], row)
-			}
+			g = buildValueGroups(r, c, s.state[i], s.arena)
 			s.cache[key] = g
 		}
 		parts = append(parts, part{ri: i, groups: g})
@@ -108,20 +114,22 @@ func (s *gjState) recurse(depth int) {
 		return
 	}
 	// Intersect candidate values, iterating over the smallest group set.
+	// Candidates are sorted numerically, so the output order is
+	// independent of grouping structure and hash-iteration order.
 	small := 0
 	for i := range parts {
-		if len(parts[i].groups) < len(parts[small].groups) {
+		if len(parts[i].groups.vals) < len(parts[small].groups.vals) {
 			small = i
 		}
 	}
-	cands := make([]Value, 0, len(parts[small].groups))
-	for val := range parts[small].groups {
+	cands := make([]Value, 0, len(parts[small].groups.vals))
+	for _, val := range parts[small].groups.vals {
 		ok := true
 		for i := range parts {
 			if i == small {
 				continue
 			}
-			if _, hit := parts[i].groups[val]; !hit {
+			if parts[i].groups.lookup(val) < 0 {
 				ok = false
 				break
 			}
@@ -138,7 +146,7 @@ func (s *gjState) recurse(depth int) {
 		for i, p := range parts {
 			savedState[i] = s.state[p.ri]
 			savedVer[i] = s.version[p.ri]
-			s.state[p.ri] = p.groups[val]
+			s.state[p.ri] = p.groups.rowsOf(p.groups.lookup(val))
 			s.nextVer++
 			s.version[p.ri] = s.nextVer
 		}

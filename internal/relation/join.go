@@ -7,10 +7,15 @@ import "sort"
 // algorithm (slide 32); every parallel operator in this repository takes
 // whatever arrives at a server and applies one of these.
 
-// HashJoin computes the natural join of r and s using a hash index on
-// the smaller input. The output schema is r's attributes followed by s's
-// non-shared attributes. With no shared attributes it degenerates to the
-// Cartesian product.
+// HashJoin computes the natural join of r and s using a radix hash
+// index on the smaller input. The output schema is r's attributes
+// followed by s's non-shared attributes. With no shared attributes it
+// degenerates to the Cartesian product.
+//
+// Output order matches the historical map-based implementation exactly:
+// probe rows in relation order, each matched against its key group's
+// build rows in ascending row order — the bit-identity the differential
+// harnesses rely on.
 func HashJoin(name string, r, s *Relation) *Relation {
 	shared := SharedAttrs(r, s)
 	out := New(name, joinSchema(r, s)...)
@@ -22,20 +27,86 @@ func HashJoin(name string, r, s *Relation) *Relation {
 	if s.Len() < r.Len() {
 		build, probe = s, r
 	}
-	ix := BuildIndex(build, shared)
+	buildCols := make([]int, len(shared))
 	probeCols := make([]int, len(shared))
 	for i, a := range shared {
+		buildCols[i] = build.MustCol(a)
 		probeCols[i] = probe.MustCol(a)
 	}
-	emit := makeEmitter(out, r, s)
+	a := getArena()
+	defer putArena(a)
+	var ri rowIndex
+	buildRowIndex(&ri, build, buildCols, a)
+
+	// Pass 1: probe every row once, recording its key group. Probes are
+	// radix-partitioned like the build side, so each burst of lookups
+	// hits one cache-resident slot region; refs land at the original
+	// row position, preserving output order. The match refs double as
+	// the exact output size, so pass 2 emits into fully presized
+	// storage with no re-probing and no append growth.
 	n := probe.Len()
+	checkRowCount("HashJoin probe", n)
+	refs := arenaRefs(&a.refs, n)
+	phash := arenaU64(&a.hashes, n)
 	for i := 0; i < n; i++ {
-		row := probe.Row(i)
-		for _, j := range ix.Lookup(row, probeCols) {
-			if build == r {
-				emit(build.Row(int(j)), row)
-			} else {
-				emit(row, build.Row(int(j)))
+		phash[i] = kernelRowHash(probe.Row(i), probeCols, kernelSeed)
+	}
+	total := 0
+	if nparts := len(ri.pMask); nparts == 1 {
+		for i := 0; i < n; i++ {
+			g := ri.lookupRefH(phash[i], probe.Row(i), probeCols)
+			refs[i] = g
+			total += int(g.count)
+		}
+	} else {
+		ordRows, ordHash, _ := partitionScatter(a, phash, nparts, ri.shift)
+		for i, row := range ordRows {
+			g := ri.lookupRefH(ordHash[i], probe.Row(int(row)), probeCols)
+			refs[row] = g
+			total += int(g.count)
+		}
+	}
+
+	// Pass 2: bulk emit. Each output row is the r-row followed by s's
+	// non-shared columns, exactly as makeEmitter appends them.
+	extra := make([]int, 0, s.Arity())
+	for i, at := range s.Attrs() {
+		if r.Col(at) < 0 {
+			extra = append(extra, i)
+		}
+	}
+	out.data = make([]Value, total*out.Arity())
+	data := out.data
+	w := 0
+	if build == r {
+		for i := 0; i < n; i++ {
+			g := refs[i]
+			if g.count == 0 {
+				continue
+			}
+			srow := probe.Row(i)
+			for _, bj := range ri.group(g) {
+				w += copy(data[w:], build.Row(int(bj)))
+				for _, c := range extra {
+					data[w] = srow[c]
+					w++
+				}
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			g := refs[i]
+			if g.count == 0 {
+				continue
+			}
+			rrow := probe.Row(i)
+			for _, bj := range ri.group(g) {
+				srow := build.Row(int(bj))
+				w += copy(data[w:], rrow)
+				for _, c := range extra {
+					data[w] = srow[c]
+					w++
+				}
 			}
 		}
 	}
@@ -62,6 +133,7 @@ func makeEmitter(out, r, s *Relation) func(rrow, srow []Value) {
 func crossProduct(out, r, s *Relation) *Relation {
 	emit := makeEmitter(out, r, s)
 	nr, ns := r.Len(), s.Len()
+	out.Grow(nr * ns * out.Arity()) // exact output size: one reallocation at most
 	for i := 0; i < nr; i++ {
 		ri := r.Row(i)
 		for j := 0; j < ns; j++ {
@@ -183,13 +255,18 @@ func Semijoin(name string, r, s *Relation) *Relation {
 		}
 		return New(name, r.attrs...)
 	}
-	ix := BuildIndex(s, shared)
+	scols := make([]int, len(shared))
 	cols := make([]int, len(shared))
 	for i, a := range shared {
+		scols[i] = s.MustCol(a)
 		cols[i] = r.MustCol(a)
 	}
+	a := getArena()
+	defer putArena(a)
+	var ri rowIndex
+	buildRowIndex(&ri, s, scols, a)
 	return r.Select(name, func(row []Value) bool {
-		return len(ix.Lookup(row, cols)) > 0
+		return ri.lookupRef(row, cols).count > 0
 	})
 }
 
@@ -204,13 +281,18 @@ func Antijoin(name string, r, s *Relation) *Relation {
 		out.name = name
 		return out
 	}
-	ix := BuildIndex(s, shared)
+	scols := make([]int, len(shared))
 	cols := make([]int, len(shared))
 	for i, a := range shared {
+		scols[i] = s.MustCol(a)
 		cols[i] = r.MustCol(a)
 	}
+	a := getArena()
+	defer putArena(a)
+	var ri rowIndex
+	buildRowIndex(&ri, s, scols, a)
 	return r.Select(name, func(row []Value) bool {
-		return len(ix.Lookup(row, cols)) == 0
+		return ri.lookupRef(row, cols).count == 0
 	})
 }
 

@@ -1,0 +1,60 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks for the local-operator hash kernels at E-series join sizes
+// (E01 uses 20k-row inputs; the skew/crossover experiments push a few
+// hundred thousand rows through every server-local join). These are the
+// BENCH_BASELINE.json entries gated at max_ratio 0.5: the radix kernels
+// must stay at least 2x faster than the EncodeKey map baseline the
+// entries were recorded from.
+
+// benchRel returns an n-row binary relation with attr values uniform in
+// [0, dom), offset so keys exercise multi-byte and negative encodings.
+func benchRel(seed int64, name string, attrs []string, n, dom int) *Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := New(name, attrs...)
+	r.Grow(n * len(attrs))
+	row := make([]Value, len(attrs))
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = Value(rng.Intn(dom)) - Value(dom/4)
+		}
+		r.AppendRow(row)
+	}
+	return r
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	r := benchRel(1, "R", []string{"x", "y"}, 200000, 50000)
+	s := benchRel(2, "S", []string{"y", "z"}, 200000, 50000)
+	b.Run("n200k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			HashJoin("J", r, s)
+		}
+	})
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	r := benchRel(3, "R", []string{"g1", "g2", "v"}, 300000, 200)
+	b.Run("n300k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			GroupBy("A", r, []string{"g1", "g2"}, Sum, "v", "s")
+		}
+	})
+}
+
+func BenchmarkBuildIndex(b *testing.B) {
+	r := benchRel(4, "R", []string{"x", "y"}, 300000, 100000)
+	b.Run("n300k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			BuildIndex(r, []string{"y"})
+		}
+	})
+}

@@ -8,6 +8,12 @@ package relation
 
 // EncodeKey packs the selected columns of row into a string usable as a
 // map key. The encoding is injective: 8 bytes per value, little endian.
+// Because the bytes are little endian (and negative values carry a high
+// sign byte), lexicographic order of encoded strings does NOT agree
+// with numeric order for any value ≥ 256 or < 0 — encoded keys are
+// identity keys only and must never be used as sort keys. The local
+// operators themselves hash rows directly (radix.go); EncodeKey remains
+// for map-keyed oracles and tests.
 func EncodeKey(row []Value, cols []int) string {
 	b := make([]byte, 0, 8*len(cols))
 	for _, c := range cols {
@@ -59,32 +65,39 @@ func Bucket(h uint64, p int) int {
 }
 
 // Index is a hash index from a key (a subset of columns) to the row
-// indices holding that key. It is the workhorse of local hash joins.
+// indices holding that key. It is the workhorse of local hash joins,
+// backed by the radix-partitioned open-addressing kernel in radix.go.
+//
+// Row ids are int32 (halving index memory); BuildIndex panics on
+// relations past math.MaxInt32 rows rather than truncating silently.
 type Index struct {
-	rel  *Relation
-	cols []int
-	m    map[string][]int32
+	ri    rowIndex
+	arena *kernelArena
 }
 
-// BuildIndex indexes rel on the given attributes.
+// BuildIndex indexes rel on the given attributes. The returned Index
+// owns its storage for as long as the caller retains it; the pooled
+// kernels inside HashJoin/Semijoin/Antijoin recycle their build-side
+// arenas instead, so prefer those operators over manual indexing when
+// the index is join-transient.
 func BuildIndex(rel *Relation, attrs []string) *Index {
 	cols := make([]int, len(attrs))
 	for i, a := range attrs {
 		cols[i] = rel.MustCol(a)
 	}
-	m := make(map[string][]int32, rel.Len())
-	n := rel.Len()
-	for i := 0; i < n; i++ {
-		k := EncodeKey(rel.Row(i), cols)
-		m[k] = append(m[k], int32(i))
-	}
-	return &Index{rel: rel, cols: cols, m: m}
+	ix := &Index{arena: new(kernelArena)}
+	buildRowIndex(&ix.ri, rel, cols, ix.arena)
+	return ix
 }
 
 // Lookup returns the indices of rows whose key columns equal the key
-// columns of probe (interpreted under probeCols).
+// columns of probe (interpreted under probeCols), in ascending order.
 func (ix *Index) Lookup(probe []Value, probeCols []int) []int32 {
-	return ix.m[EncodeKey(probe, probeCols)]
+	g := ix.ri.lookupRef(probe, probeCols)
+	if g.count == 0 {
+		return nil
+	}
+	return ix.ri.group(g)
 }
 
 // LookupKey returns rows matching an explicit key tuple.
@@ -93,8 +106,8 @@ func (ix *Index) LookupKey(key []Value) []int32 {
 	for i := range key {
 		cols[i] = i
 	}
-	return ix.m[EncodeKey(key, cols)]
+	return ix.Lookup(key, cols)
 }
 
 // DistinctKeys returns the number of distinct keys in the index.
-func (ix *Index) DistinctKeys() int { return len(ix.m) }
+func (ix *Index) DistinctKeys() int { return ix.ri.distinct }

@@ -18,6 +18,9 @@ func LeapfrogJoin(name string, varOrder []string, rels ...*Relation) *Relation {
 	if len(rels) == 0 {
 		panic("relation: LeapfrogJoin of nothing")
 	}
+	// seen/pos are membership/position maps over variable names; their
+	// iteration order is never relied upon (trie levels are ordered by
+	// pos values, and all row comparisons are numeric on Value tuples).
 	seen := map[string]bool{}
 	pos := map[string]int{}
 	for i, v := range varOrder {

@@ -107,6 +107,9 @@ func OracleGroupBy(name string, r *relation.Relation, groupBy []string, fn relat
 		key  []relation.Value
 		vals []relation.Value
 	}
+	// EncodeKey strings are identity keys only here: groups are visited
+	// through the insertion-order slice, never by (lexicographic) key
+	// order, and the final out.Sort() orders rows numerically by tuple.
 	groups := map[string]*group{}
 	var order []string
 	for i := 0; i < r.Len(); i++ {
@@ -227,6 +230,8 @@ func BagEqual(a, b *relation.Relation) bool {
 // from want (missing and unexpected tuples, a few of each) for test
 // failure messages.
 func DiffSample(got, want *relation.Relation) string {
+	// EncodeKey is a multiset identity key here; tuple order never
+	// depends on the (lexicographic) string order of encoded keys.
 	count := func(r *relation.Relation, cols []int) map[string]int {
 		m := map[string]int{}
 		for i := 0; i < r.Len(); i++ {
