@@ -9,6 +9,7 @@
 //	mpcrun -q 'R(x,y), S(y,z), T(z,x)' -n 5000 -p 27
 //	mpcrun -q 'E(a,b), F(b,c)' -data ./csvdir -p 8
 //	mpcrun -query triangle -n 5000 -p 27 -explain
+//	mpcrun -recursive tc -n 2000 -p 16 -skew zipf
 //
 // Queries: triangle, join2, rst, path<k>, star<k>, cycle<k>, or an
 // arbitrary conjunctive query body via -q. With -data, each atom's
@@ -17,6 +18,14 @@
 // Algorithms: auto (default), hashjoin, broadcast, skewjoin, sortjoin,
 // hypercube, skewhc, gym, gym-opt, binaryplan, bigjoin, hl-triangle.
 // Skew: none (default), zipf, heavy.
+//
+// With -recursive tc|reach|cc the run evaluates a recursive workload —
+// transitive closure, reachability from a source, or connected
+// components — by semi-naive fixpoint over a generated random graph
+// with -n edges (heavy-tailed degrees under -skew zipf). Each fixpoint
+// iteration costs two metered rounds; the report adds the iteration
+// count next to (L, r, C). Composes with -chaos, -trace, -transport,
+// -p, and -seed.
 //
 // With -chaos seed[:key=rate,...] (e.g. -chaos 7:drop=0.1,crash=0.05)
 // the run executes under that deterministic fault schedule: faults are
@@ -71,6 +80,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print the cost-based plan listing (predicted L, r, C per candidate) and exit without executing")
 	rounds := flag.Int("rounds", 0, "round budget for -explain planning (0 = unlimited)")
 	traceFile := flag.String("trace", "", "write an execution trace to this file (.jsonl → JSON lines, otherwise Chrome trace_event for Perfetto/chrome://tracing)")
+	recKind := flag.String("recursive", "", "run a recursive workload instead of a conjunctive query: tc (transitive closure), reach (reachability from vertex 0), cc (connected components); -n sets the edge count")
 	transport := flag.String("transport", "local", "round delivery backend: local (in-process) or tcp (worker subprocesses over real sockets)")
 	netWorkers := flag.Int("net-workers", 0, "worker processes for -transport=tcp (0 = min(p, 4))")
 	netWorker := flag.Bool("net-worker", false, "run as an mpcnet worker process (internal, used by -transport=tcp)")
@@ -84,24 +94,29 @@ func main() {
 
 	var q hypergraph.Query
 	var err error
-	if *queryBody != "" {
-		q, err = hypergraph.Parse("adhoc", *queryBody)
-	} else {
-		q, err = parseQuery(*queryName)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mpcrun:", err)
-		os.Exit(1)
-	}
 	var rels map[string]*relation.Relation
-	if *dataDir != "" {
-		rels, err = loadCSVDir(q, *dataDir)
+	if *recKind == "" {
+		if *queryBody != "" {
+			q, err = hypergraph.Parse("adhoc", *queryBody)
+		} else {
+			q, err = parseQuery(*queryName)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mpcrun:", err)
 			os.Exit(1)
 		}
-	} else {
-		rels = generate(q, *n, *skew, *seed)
+		if *dataDir != "" {
+			rels, err = loadCSVDir(q, *dataDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mpcrun:", err)
+				os.Exit(1)
+			}
+		} else {
+			rels = generate(q, *n, *skew, *seed)
+		}
+	} else if *explain {
+		fmt.Fprintln(os.Stderr, "mpcrun: -explain applies to conjunctive queries, not -recursive workloads")
+		os.Exit(1)
 	}
 	if *explain {
 		pl, perr := plan.For(q, rels, *p, plan.Options{MaxRounds: *rounds})
@@ -156,6 +171,12 @@ func main() {
 		rec = trace.NewRecorder()
 		engine.Trace = rec
 	}
+	if *recKind != "" {
+		if code := runRecursive(engine, *recKind, *n, *skew, *seed, transportDesc, sched, rec, *traceFile, *verbose); code != 0 {
+			os.Exit(code)
+		}
+		return
+	}
 	var exec *core.Execution
 	failure, err := chaos.Capture(func() error {
 		var execErr error
@@ -206,6 +227,56 @@ func main() {
 	if *verbose {
 		fmt.Print(exec.Metrics.String())
 	}
+}
+
+// runRecursive executes a semi-naive fixpoint workload on the engine:
+// -recursive tc|reach|cc over a generated random graph with -n edges
+// (heavy-tailed degrees under -skew zipf/heavy). Composes with -chaos,
+// -trace, -transport, -p, and -seed exactly like the query path.
+func runRecursive(engine *core.Engine, kind string, n int, skew string, seed int64, transportDesc string, sched *chaos.Schedule, rec *trace.Recorder, traceFile string, verbose bool) int {
+	vertices := n / 3
+	if vertices < 2 {
+		vertices = 2
+	}
+	var edges *relation.Relation
+	if skew == "zipf" || skew == "heavy" {
+		edges = workload.PowerLawGraph("E", "src", "dst", vertices, n, seed)
+	} else {
+		edges = workload.RandomGraph("E", "src", "dst", vertices, n, seed)
+	}
+	req := core.RecursiveRequest{Kind: core.RecursiveKind(kind), Edges: edges}
+	if req.Kind == core.RecReachable {
+		req.Sources = []relation.Value{edges.Row(0)[0]}
+	}
+	var exec *core.RecursiveExecution
+	failure, err := chaos.Capture(func() error {
+		var execErr error
+		exec, execErr = engine.ExecuteRecursive(req)
+		return execErr
+	})
+	if failure != nil {
+		writeTrace(traceFile, rec)
+		fmt.Fprintln(os.Stderr, "mpcrun:", sched.Report(nil, failure))
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpcrun:", err)
+		return 1
+	}
+	writeTrace(traceFile, rec)
+	fmt.Printf("workload   recursive %s (semi-naive fixpoint)\n", kind)
+	fmt.Printf("servers    p = %d, IN = %d edges over %d vertices\n", engine.P, edges.Len(), vertices)
+	fmt.Printf("transport  %s\n", transportDesc)
+	fmt.Printf("output     %d tuples after %d iterations\n", exec.Output.Len(), exec.Iterations)
+	fmt.Printf("cost       L = %d tuples/server/round, r = %d rounds, C = %d tuples total\n",
+		exec.MaxLoad, exec.Rounds, exec.TotalComm)
+	if sched != nil {
+		fmt.Printf("chaos      %s\n", sched.Report(exec.Metrics, nil))
+	}
+	if verbose {
+		fmt.Print(exec.Metrics.String())
+	}
+	return 0
 }
 
 // writeTrace exports the recorded events to path — JSON lines when the

@@ -52,6 +52,12 @@ type Config struct {
 	// Attempts is the per-round replay budget handed to the recovery
 	// driver.
 	Attempts int
+	// After gates the whole schedule to late rounds: no fault of any
+	// class fires before metered round index After (zero-based, the same
+	// index the recovery driver passes in). Zero means faults are live
+	// from the first round. Iterative workloads use this to aim faults
+	// *between* fixpoint iterations rather than at the setup rounds.
+	After int
 }
 
 func (c Config) validate() error {
@@ -71,6 +77,9 @@ func (c Config) validate() error {
 	}
 	if c.Attempts < 0 {
 		return fmt.Errorf("chaos: attempts %d < 0", c.Attempts)
+	}
+	if c.After < 0 {
+		return fmt.Errorf("chaos: after %d < 0", c.After)
 	}
 	return nil
 }
@@ -164,6 +173,9 @@ func (s *Schedule) persistence(h uint64) int {
 
 // StragglerUnits implements mpc.FaultInjector.
 func (s *Schedule) StragglerUnits(round, server int) int64 {
+	if round < s.cfg.After {
+		return 0
+	}
 	if s.cfg.Straggle == 0 || s.cfg.MaxDelay <= 0 {
 		return 0
 	}
@@ -177,6 +189,9 @@ func (s *Schedule) StragglerUnits(round, server int) int64 {
 // attempt 0 for its full persistence (the server is down until its
 // restart completes).
 func (s *Schedule) CrashedAt(round, attempt, server int) bool {
+	if round < s.cfg.After {
+		return false
+	}
 	if s.cfg.Crash == 0 {
 		return false
 	}
@@ -187,6 +202,9 @@ func (s *Schedule) CrashedAt(round, attempt, server int) bool {
 // FragmentFate implements mpc.FaultInjector. Drop shadows duplicate
 // when both fire for the same fragment.
 func (s *Schedule) FragmentFate(round, attempt, src, dst, streamIdx int) mpc.FaultFate {
+	if round < s.cfg.After {
+		return mpc.FateDeliver
+	}
 	if s.cfg.Drop > 0 {
 		if h := s.hash(kindDrop, round, src, dst, streamIdx); prob(h) < s.cfg.Drop && attempt < s.persistence(h) {
 			return mpc.FateDrop

@@ -15,6 +15,8 @@ func TestParseRoundTrip(t *testing.T) {
 		"18446744073709551615:straggle=1",
 		"0:dup=1e-05",
 		"3:crash=0.5,attempts=16",
+		"404:crash=0.35,after=3",
+		"1:drop=0.05,dup=0.02,crash=0.01,straggle=0.1,delay=8,persist=2,attempts=8,after=4",
 	} {
 		cfg, err := Parse(spec)
 		if err != nil {
@@ -49,6 +51,7 @@ func TestParseErrors(t *testing.T) {
 		"7:delay=-1",                   // negative delay
 		"7:persist=-2",                 // negative persist
 		"7:attempts=-3",                // negative attempts
+		"7:after=-1",                   // negative after
 		"7:delay=99999999999999999999", // overflow
 	} {
 		if _, err := Parse(spec); err == nil {
@@ -130,6 +133,46 @@ func TestPersistenceBounded(t *testing.T) {
 	// Rate 1 means every point fires on attempt 0.
 	if !s.CrashedAt(0, 0, 3) || s.FragmentFate(0, 0, 1, 2, 0) != mpc.FateDrop {
 		t.Fatal("rate-1 fault point did not fire on attempt 0")
+	}
+}
+
+// TestAfterGatesAllFaultClasses pins the mid-run fault axis: a schedule
+// with after=N is completely silent on rounds < N and behaves exactly
+// like its ungated twin from round N on.
+func TestAfterGatesAllFaultClasses(t *testing.T) {
+	gated := MustParseSchedule("42:drop=0.3,dup=0.2,crash=0.25,straggle=0.5,after=3")
+	open := MustParseSchedule("42:drop=0.3,dup=0.2,crash=0.25,straggle=0.5")
+	fired := false
+	for round := 0; round < 8; round++ {
+		for srv := 0; srv < 8; srv++ {
+			if round < 3 {
+				if gated.StragglerUnits(round, srv) != 0 || gated.CrashedAt(round, 0, srv) {
+					t.Fatalf("round %d: gated schedule fired before after", round)
+				}
+			} else {
+				if gated.StragglerUnits(round, srv) != open.StragglerUnits(round, srv) ||
+					gated.CrashedAt(round, 0, srv) != open.CrashedAt(round, 0, srv) {
+					t.Fatalf("round %d: gated schedule differs from ungated twin past after", round)
+				}
+			}
+			for dst := 0; dst < 8; dst++ {
+				fate := gated.FragmentFate(round, 0, srv, dst, 0)
+				if round < 3 && fate != mpc.FateDeliver {
+					t.Fatalf("round %d: gated fragment fate fired before after", round)
+				}
+				if round >= 3 {
+					if fate != open.FragmentFate(round, 0, srv, dst, 0) {
+						t.Fatalf("round %d: gated fragment fate differs past after", round)
+					}
+					if fate != mpc.FateDeliver {
+						fired = true
+					}
+				}
+			}
+		}
+	}
+	if !fired {
+		t.Fatal("gated schedule never fired past its after round")
 	}
 }
 

@@ -13,9 +13,9 @@ import (
 // e.g. "7", "7:drop=0.05", or
 // "7:drop=0.05,dup=0.02,crash=0.01,straggle=0.1,delay=8,persist=2,attempts=8".
 // Keys are drop, dup, crash, straggle (rates in [0, 1]) and delay,
-// persist, attempts (non-negative integers); omitted keys stay zero
-// and pick up their defaults at schedule construction. Parse is the
-// inverse of Config.String: Parse(cfg.String()) == cfg for every
+// persist, attempts, after (non-negative integers); omitted keys stay
+// zero and pick up their defaults at schedule construction. Parse is
+// the inverse of Config.String: Parse(cfg.String()) == cfg for every
 // Config Parse accepts.
 func Parse(s string) (Config, error) {
 	head, rest, hasRest := strings.Cut(s, ":")
@@ -47,7 +47,7 @@ func Parse(s string) (Config, error) {
 				case "straggle":
 					cfg.Straggle = r
 				}
-			case "delay", "persist", "attempts":
+			case "delay", "persist", "attempts", "after":
 				n, err := strconv.ParseInt(v, 10, 64)
 				if err != nil {
 					return Config{}, fmt.Errorf("chaos: bad integer %s=%q in spec %q", k, v, s)
@@ -65,6 +65,11 @@ func Parse(s string) (Config, error) {
 						return Config{}, fmt.Errorf("chaos: attempts %d too large in spec %q", n, s)
 					}
 					cfg.Attempts = int(n)
+				case "after":
+					if n > 1<<30 {
+						return Config{}, fmt.Errorf("chaos: after %d too large in spec %q", n, s)
+					}
+					cfg.After = int(n)
 				}
 			default:
 				return Config{}, fmt.Errorf("chaos: unknown key %q in spec %q", k, s)
@@ -117,6 +122,9 @@ func (c Config) String() string {
 	}
 	if c.Attempts != 0 {
 		parts = append(parts, "attempts="+strconv.Itoa(c.Attempts))
+	}
+	if c.After != 0 {
+		parts = append(parts, "after="+strconv.Itoa(c.After))
 	}
 	if len(parts) == 0 {
 		return strconv.FormatUint(c.Seed, 10)

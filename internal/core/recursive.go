@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/recursive"
+	"mpcquery/internal/relation"
+)
+
+// RecursiveKind selects a recursive workload for ExecuteRecursive.
+type RecursiveKind string
+
+// Available recursive workloads.
+const (
+	RecTransitiveClosure   RecursiveKind = "tc"
+	RecReachable           RecursiveKind = "reach"
+	RecConnectedComponents RecursiveKind = "cc"
+)
+
+// RecursiveRequest is one recursive evaluation request: a binary edge
+// relation plus, for RecReachable, the source vertex set.
+type RecursiveRequest struct {
+	Kind  RecursiveKind
+	Edges *relation.Relation
+	// Sources is required for RecReachable and ignored otherwise.
+	Sources []relation.Value
+}
+
+// RecursiveExecution reports a recursive run: the gathered output plus
+// the semi-naive iteration count next to the usual (L, r, C) metering.
+type RecursiveExecution struct {
+	Output     *relation.Relation
+	Kind       RecursiveKind
+	Iterations int
+	Rounds     int
+	MaxLoad    int64
+	TotalComm  int64
+	Metrics    *mpc.Metrics
+}
+
+// ExecuteRecursive runs a semi-naive fixpoint workload on the engine's
+// cluster, composing with the Chaos, Trace, and Transport hooks exactly
+// like Execute. Every iteration costs two metered rounds (probe +
+// extend); the loop terminates when the delta relation is globally
+// empty.
+func (e *Engine) ExecuteRecursive(req RecursiveRequest) (*RecursiveExecution, error) {
+	if req.Edges == nil {
+		return nil, fmt.Errorf("core: recursive request needs an edge relation")
+	}
+	c := e.newCluster()
+	seed := uint64(e.Seed)*2654435761 + 54321
+	const outName = "out"
+	var (
+		res *recursive.Result
+		err error
+	)
+	switch req.Kind {
+	case RecTransitiveClosure:
+		res, err = recursive.TransitiveClosure(c, req.Edges, outName, seed)
+	case RecReachable:
+		if len(req.Sources) == 0 {
+			return nil, fmt.Errorf("core: reachability needs at least one source vertex")
+		}
+		res, err = recursive.Reachable(c, req.Edges, req.Sources, outName, seed)
+	case RecConnectedComponents:
+		res, err = recursive.ConnectedComponents(c, req.Edges, outName, seed)
+	default:
+		return nil, fmt.Errorf("core: unknown recursive kind %q", req.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := c.Gather(outName)
+	m := c.Metrics()
+	return &RecursiveExecution{
+		Output:     out,
+		Kind:       req.Kind,
+		Iterations: res.Iterations,
+		Rounds:     m.Rounds(),
+		MaxLoad:    m.MaxLoad(),
+		TotalComm:  m.TotalComm(),
+		Metrics:    m,
+	}, nil
+}

@@ -1,0 +1,58 @@
+package recursive
+
+import (
+	"testing"
+
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/testkit"
+)
+
+// Cross-backend differential tests: SweepBackends runs each workload
+// on the in-process transport and the TCP backend and asserts the two
+// runs indistinguishable — same fragments, same (L, r, C), same trace.
+// Fixpoint evaluation is the stress case for that guarantee: iteration
+// count is data-dependent, so a backend that perturbed delivery order
+// or dropped a delta row would diverge in round count, not just
+// content.
+
+func TestSemiNaiveTCBackendDiff(t *testing.T) {
+	testkit.SweepBackends(t, testkit.Config{}, func(t *testing.T, c *mpc.Cluster, p int, seed int64, skew testkit.Skew) {
+		edges := genGraph(skew, seed)
+		if _, err := TransitiveClosure(c, edges, "tc", uint64(seed)*29+uint64(p)); err != nil {
+			t.Fatalf("transitive closure: %v", err)
+		}
+	})
+}
+
+func TestConnectedComponentsBackendDiff(t *testing.T) {
+	testkit.SweepBackends(t, testkit.Config{}, func(t *testing.T, c *mpc.Cluster, p int, seed int64, skew testkit.Skew) {
+		edges := genGraph(skew, seed)
+		if _, err := ConnectedComponents(c, edges, "cc", uint64(seed)*37+uint64(p)); err != nil {
+			t.Fatalf("connected components: %v", err)
+		}
+	})
+}
+
+// TestIVMBackendDiff runs a standing join through its initial
+// evaluation plus a deterministic mutation batch on both backends:
+// the maintained view's fragments and metering must agree exactly.
+func TestIVMBackendDiff(t *testing.T) {
+	testkit.SweepBackends(t, testkit.Config{}, func(t *testing.T, c *mpc.Cluster, p int, seed int64, skew testkit.Skew) {
+		gen := testkit.GenConfig{Tuples: 60}
+		r := testkit.GenRelation("R", []string{"x", "y"}, skew, gen, seed)
+		s := testkit.GenRelation("S", []string{"y2", "z"}, skew, gen, seed+1)
+		view, _, err := NewJoinView(c, r, s, "V", uint64(seed)*41+uint64(p))
+		if err != nil {
+			t.Fatalf("join view: %v", err)
+		}
+		setOps := testkit.GenSetOps(map[string]*relation.Relation{"R": r, "S": s}, 20, 30, seed*11)
+		ops := make([]Op, len(setOps))
+		for i, op := range setOps {
+			ops[i] = Op{Rel: op.Rel, Insert: op.Insert, Row: op.Row}
+		}
+		if _, err := view.ApplyBatch(ops); err != nil {
+			t.Fatalf("apply batch: %v", err)
+		}
+	})
+}

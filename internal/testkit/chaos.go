@@ -20,6 +20,18 @@ var DefaultChaosSpecs = []string{
 	"303:drop=0.1,dup=0.05,crash=0.1",
 }
 
+// FixpointChaosSpecs extends the standard sweep for iterative
+// workloads with after= schedules: no fault fires before metered round
+// index N, so recovery is exercised *between* fixpoint iterations (the
+// kernel meters two rounds per iteration, so after=2 lands the first
+// fault no earlier than iteration 2) rather than only at the initial
+// scatter/seed rounds the flat specs tend to hit first.
+var FixpointChaosSpecs = append(append([]string(nil), DefaultChaosSpecs...),
+	"404:crash=0.35,after=3",
+	"505:drop=0.12,dup=0.06,after=4",
+	"606:crash=0.25,straggle=0.3,delay=5,after=2",
+)
+
 // ChaosSkews is the reduced input-distribution axis of the chaos
 // sweeps: the extremes of the skew matrix. Fault injection multiplies
 // the sweep by the schedule axis, so the chaos matrix trades skew
