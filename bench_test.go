@@ -108,11 +108,14 @@ func pad2(i int) string {
 	return s
 }
 
-func BenchmarkE21SparseMatMul(b *testing.B) { runExperiment(b, "E21") }
-func BenchmarkE22BigJoin(b *testing.B)      { runExperiment(b, "E22") }
-func BenchmarkE23ShareSweep(b *testing.B)   { runExperiment(b, "E23") }
-func BenchmarkE24PlannerAcc(b *testing.B)   { runExperiment(b, "E24") }
-func BenchmarkA07BigJoinOrder(b *testing.B) { runExperiment(b, "A07") }
+func BenchmarkE21SparseMatMul(b *testing.B)      { runExperiment(b, "E21") }
+func BenchmarkE22BigJoin(b *testing.B)           { runExperiment(b, "E22") }
+func BenchmarkE23ShareSweep(b *testing.B)        { runExperiment(b, "E23") }
+func BenchmarkE24PlannerAcc(b *testing.B)        { runExperiment(b, "E24") }
+func BenchmarkE25RecursiveRounds(b *testing.B)   { runExperiment(b, "E25") }
+func BenchmarkE26IVMDeltaScaling(b *testing.B)   { runExperiment(b, "E26") }
+func BenchmarkE27ServiceThroughput(b *testing.B) { runExperiment(b, "E27") }
+func BenchmarkA07BigJoinOrder(b *testing.B)      { runExperiment(b, "A07") }
 
 // BenchmarkMPCShuffle times the simulator's round engine through the
 // public API: a fixed cluster-wide volume hash-shuffled every round,

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mpcquery/internal/chaos"
+	"mpcquery/internal/core"
+	"mpcquery/internal/query"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/trace"
+	"mpcquery/internal/workload"
+)
+
+// compileDatalog parses and compiles a Datalog rule set and builds its
+// input relations: one per EDB predicate, loaded from <dataDir>/<name>.csv
+// when -data is set, generated under the -skew profile otherwise.
+func compileDatalog(src, dataDir string, n int, skew string, seed int64) (*query.Compiled, map[string]*relation.Relation, error) {
+	prog, err := query.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	edb := prog.EDB()
+	names := make([]string, 0, len(edb))
+	for name := range edb {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rels := map[string]*relation.Relation{}
+	for i, name := range names {
+		arity := edb[name]
+		if dataDir != "" {
+			path := filepath.Join(dataDir, name+".csv")
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, nil, fmt.Errorf("load %s: %w", name, err)
+			}
+			rel, err := relation.ReadCSV(name, f)
+			f.Close()
+			if err != nil {
+				return nil, nil, fmt.Errorf("load %s: %w", name, err)
+			}
+			if rel.Arity() != arity {
+				return nil, nil, fmt.Errorf("load %s: CSV has %d columns, program uses %d", name, rel.Arity(), arity)
+			}
+			rels[name] = rel
+			continue
+		}
+		attrs := make([]string, arity)
+		for j := range attrs {
+			attrs[j] = fmt.Sprintf("c%d", j)
+		}
+		s := seed + int64(i)
+		dom := n / 2
+		if dom < 2 {
+			dom = 2
+		}
+		switch skew {
+		case "zipf":
+			rels[name] = workload.Zipf(name, attrs, n, dom, 1.4, s)
+		default:
+			rels[name] = workload.Uniform(name, attrs, n, dom, s)
+		}
+	}
+	c, err := query.Compile(prog, query.CatalogOf(rels))
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, rels, nil
+}
+
+// runDatalog executes a compiled Datalog query on the engine and prints
+// the standard mpcrun report, composing with -chaos, -trace, and
+// -transport exactly like the named-query path.
+func runDatalog(engine *core.Engine, c *query.Compiled, rels map[string]*relation.Relation, alg core.Algorithm, p int, transportDesc string, sched *chaos.Schedule, rec *trace.Recorder, traceFile string) int {
+	var res *query.RunResult
+	failure, err := chaos.Capture(func() error {
+		var runErr error
+		res, runErr = c.Run(engine, rels, alg)
+		return runErr
+	})
+	if failure != nil {
+		writeTrace(traceFile, rec)
+		fmt.Fprintln(os.Stderr, "mpcrun:", sched.Report(nil, failure))
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpcrun:", err)
+		return 1
+	}
+	writeTrace(traceFile, rec)
+	in := 0
+	for _, r := range rels {
+		in += r.Len()
+	}
+	fmt.Printf("program    %s\n", strings.ReplaceAll(c.Program.String(), "\n", "\n           "))
+	fmt.Printf("kind       %s\n", c.Kind)
+	fmt.Printf("servers    p = %d, IN = %d tuples\n", p, in)
+	fmt.Printf("transport  %s\n", transportDesc)
+	if res.Reason != "" {
+		fmt.Printf("algorithm  %s (%s)\n", res.Algorithm, res.Reason)
+	} else {
+		fmt.Printf("algorithm  %s\n", res.Algorithm)
+	}
+	fmt.Printf("output     %d tuples (%s)\n", res.Output.Len(), strings.Join(res.Output.Attrs(), ", "))
+	fmt.Printf("cost       L = %d tuples/server/round, r = %d rounds, C = %d tuples total\n",
+		res.MaxLoad, res.Rounds, res.TotalComm)
+	if res.Iterations > 0 {
+		fmt.Printf("fixpoint   %d semi-naive iterations\n", res.Iterations)
+	}
+	if sched != nil {
+		fmt.Printf("chaos      %s\n", sched.Report(res.Metrics, nil))
+	}
+	return 0
+}

@@ -62,6 +62,7 @@ import (
 	"mpcquery/internal/cost"
 	"mpcquery/internal/hypergraph"
 	"mpcquery/internal/plan"
+	"mpcquery/internal/query"
 	"mpcquery/internal/relation"
 	"mpcquery/internal/trace"
 	"mpcquery/internal/workload"
@@ -95,7 +96,24 @@ func main() {
 	var q hypergraph.Query
 	var err error
 	var rels map[string]*relation.Relation
-	if *recKind == "" {
+	// A '-query'/'-q' value containing ':-' is a Datalog rule set: it
+	// goes through the internal/query frontend — the same parser,
+	// semantic checks, and compiler mpcserve uses.
+	var compiled *query.Compiled
+	datalogSrc := ""
+	if strings.Contains(*queryBody, ":-") {
+		datalogSrc = *queryBody
+	} else if strings.Contains(*queryName, ":-") {
+		datalogSrc = *queryName
+	}
+	if *recKind == "" && datalogSrc != "" {
+		compiled, rels, err = compileDatalog(datalogSrc, *dataDir, *n, *skew, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpcrun:", err)
+			os.Exit(1)
+		}
+		q = compiled.Query
+	} else if *recKind == "" {
 		if *queryBody != "" {
 			q, err = hypergraph.Parse("adhoc", *queryBody)
 		} else {
@@ -119,7 +137,15 @@ func main() {
 		os.Exit(1)
 	}
 	if *explain {
-		pl, perr := plan.For(q, rels, *p, plan.Options{MaxRounds: *rounds})
+		if compiled != nil && compiled.Kind == query.KindRecursive {
+			fmt.Fprintln(os.Stderr, "mpcrun: -explain applies to conjunctive queries, not recursive rule sets")
+			os.Exit(1)
+		}
+		opts := plan.Options{MaxRounds: *rounds}
+		if compiled != nil {
+			opts.Aggregate = compiled.Aggregate
+		}
+		pl, perr := plan.For(q, rels, *p, opts)
 		if pl == nil {
 			fmt.Fprintln(os.Stderr, "mpcrun:", perr)
 			os.Exit(1)
@@ -173,6 +199,12 @@ func main() {
 	}
 	if *recKind != "" {
 		if code := runRecursive(engine, *recKind, *n, *skew, *seed, transportDesc, sched, rec, *traceFile, *verbose); code != 0 {
+			os.Exit(code)
+		}
+		return
+	}
+	if compiled != nil {
+		if code := runDatalog(engine, compiled, rels, core.Algorithm(*alg), *p, transportDesc, sched, rec, *traceFile); code != 0 {
 			os.Exit(code)
 		}
 		return

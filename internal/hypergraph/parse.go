@@ -55,18 +55,7 @@ func Parse(name, body string) (Query, error) {
 	if len(atoms) == 0 {
 		return Query{}, fmt.Errorf("hypergraph: empty query body")
 	}
-	// NewQuery panics on duplicates; convert to an error here.
-	var q Query
-	var perr error
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				perr = fmt.Errorf("hypergraph: %v", r)
-			}
-		}()
-		q = NewQuery(name, atoms...)
-	}()
-	return q, perr
+	return TryNewQuery(name, atoms...)
 }
 
 // MustParse is Parse but panics on malformed input; for tests and

@@ -43,26 +43,39 @@ type Query struct {
 }
 
 // NewQuery builds a query, validating that atom names are unique and no
-// atom repeats a variable.
+// atom repeats a variable. It panics on invalid input; code handling
+// untrusted query shapes (the parsed frontend, anything network-facing)
+// should use TryNewQuery instead.
 func NewQuery(name string, atoms ...Atom) Query {
+	q, err := TryNewQuery(name, atoms...)
+	if err != nil {
+		panic(err.Error())
+	}
+	return q
+}
+
+// TryNewQuery is NewQuery with errors instead of panics: the
+// construction entry point for untrusted input. It rejects duplicate
+// atom names, atoms with no variables, and atoms repeating a variable.
+func TryNewQuery(name string, atoms ...Atom) (Query, error) {
 	seen := map[string]bool{}
 	for _, a := range atoms {
 		if seen[a.Name] {
-			panic("hypergraph: duplicate atom name " + a.Name)
+			return Query{}, fmt.Errorf("hypergraph: duplicate atom name %s", a.Name)
 		}
 		seen[a.Name] = true
 		vs := map[string]bool{}
 		for _, v := range a.Vars {
 			if vs[v] {
-				panic(fmt.Sprintf("hypergraph: atom %s repeats variable %s", a.Name, v))
+				return Query{}, fmt.Errorf("hypergraph: atom %s repeats variable %s", a.Name, v)
 			}
 			vs[v] = true
 		}
 		if len(a.Vars) == 0 {
-			panic("hypergraph: atom " + a.Name + " has no variables")
+			return Query{}, fmt.Errorf("hypergraph: atom %s has no variables", a.Name)
 		}
 	}
-	return Query{Name: name, Atoms: atoms}
+	return Query{Name: name, Atoms: atoms}, nil
 }
 
 // Vars returns every variable in order of first occurrence.

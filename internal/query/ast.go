@@ -1,0 +1,146 @@
+package query
+
+import "strings"
+
+// Agg identifies an aggregation function in a rule head.
+type Agg int
+
+// Head aggregations. AggNone marks a plain variable term.
+const (
+	AggNone Agg = iota
+	AggSum
+	AggCount
+	AggMin
+	AggMax
+)
+
+func (a Agg) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	}
+	return ""
+}
+
+// aggByName maps the head keywords the parser recognizes. Aggregation
+// names are only keywords directly before '(' in a head term; anywhere
+// else they are ordinary identifiers.
+var aggByName = map[string]Agg{
+	"sum":   AggSum,
+	"count": AggCount,
+	"min":   AggMin,
+	"max":   AggMax,
+}
+
+// Var is one variable occurrence with its source position.
+type Var struct {
+	Name string
+	Pos  Pos
+}
+
+// HeadTerm is one term of a rule head: a plain variable (Agg ==
+// AggNone) or an aggregation call sum(v)/count(v)/min(v)/max(v).
+type HeadTerm struct {
+	Var string
+	Agg Agg
+	Pos Pos
+}
+
+func (t HeadTerm) String() string {
+	if t.Agg == AggNone {
+		return t.Var
+	}
+	return t.Agg.String() + "(" + t.Var + ")"
+}
+
+// Head is the head atom of a rule.
+type Head struct {
+	Name  string
+	Terms []HeadTerm
+	Pos   Pos
+}
+
+func (h Head) String() string {
+	parts := make([]string, len(h.Terms))
+	for i, t := range h.Terms {
+		parts[i] = t.String()
+	}
+	return h.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Atom is one body atom R(x, y, ...). Terms are variables only; the
+// language has no constants.
+type Atom struct {
+	Name string
+	Vars []Var
+	Pos  Pos
+}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Vars))
+	for i, v := range a.Vars {
+		parts[i] = v.Name
+	}
+	return a.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Rule is one Datalog rule head :- body.
+type Rule struct {
+	Head Head
+	Body []Atom
+}
+
+func (r *Rule) String() string {
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// Program is a parsed rule set: one rule for a plain or aggregating
+// conjunctive query, several for a recursive fixpoint.
+type Program struct {
+	Rules []*Rule
+}
+
+// String renders the canonical source form: one rule per line, single
+// spaces, every rule '.'-terminated. Parsing the rendering yields a
+// program that renders identically (the round-trip property the fuzzer
+// pins).
+func (p *Program) String() string {
+	parts := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// EDB returns the extensional predicates of the program — every body
+// predicate that is not the head of any rule — with the arity of its
+// first occurrence. Callers generating synthetic inputs (mpcrun) use
+// this to know which relations a program needs; arity conflicts
+// surface later in Compile against the real catalog.
+func (p *Program) EDB() map[string]int {
+	heads := map[string]bool{}
+	for _, r := range p.Rules {
+		heads[r.Head.Name] = true
+	}
+	out := map[string]int{}
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if !heads[a.Name] {
+				if _, ok := out[a.Name]; !ok {
+					out[a.Name] = len(a.Vars)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package query
+
+import (
+	"testing"
+)
+
+// BenchmarkParseCompile measures the full frontend path — lex, parse,
+// semantic analysis, hypergraph construction — for the triangle query,
+// the per-request cost a cache miss pays in mpcserve before planning.
+func BenchmarkParseCompile(b *testing.B) {
+	const src = "triangle(x, y, z) :- R(x, y), S(y, z), T(z, x)."
+	cat := NewCatalog()
+	cat.Add("R", 2)
+	cat.Add("S", 2)
+	cat.Add("T", 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog, err := Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Compile(prog, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,512 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"mpcquery/internal/core"
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/relation"
+)
+
+// Structural limits on compiled queries. maxVars matches the
+// hypergraph package's VarSubsets bound, so no query admitted here can
+// reach its too-many-variables panic through SkewHC; maxAtoms bounds
+// planner and LP work on untrusted input.
+const (
+	maxAtoms = 16
+	maxVars  = 20
+)
+
+// Kind classifies a compiled query.
+type Kind int
+
+// Compiled query kinds.
+const (
+	// KindJoin is a full conjunctive query: the head lists every body
+	// variable (in any order).
+	KindJoin Kind = iota
+	// KindAggregate is a conjunctive query with an aggregation head:
+	// group-by variables followed by one sum/count/min/max call.
+	KindAggregate
+	// KindRecursive is a recursive rule set compiled onto an
+	// internal/recursive fixpoint workload.
+	KindRecursive
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindJoin:
+		return "join"
+	case KindAggregate:
+		return "aggregate"
+	case KindRecursive:
+		return "recursive"
+	}
+	return "unknown"
+}
+
+// Recursive describes a rule set matched onto a fixpoint workload.
+type Recursive struct {
+	// Kind is the internal/recursive workload (transitive closure or
+	// reachability).
+	Kind core.RecursiveKind
+	// EdgeRel is the catalog relation supplying the binary edges.
+	EdgeRel string
+	// SourceRel is the unary catalog relation whose values seed
+	// reachability; empty for transitive closure.
+	SourceRel string
+}
+
+// Compiled is a fully analyzed, executable query. For KindJoin and
+// KindAggregate the Query field is the body's hypergraph — exactly
+// what a handwritten hypergraph.Query construction would produce — so
+// the compiled form flows unchanged through internal/plan, both
+// transports, chaos recovery, and tracing.
+type Compiled struct {
+	// Program is the parsed source.
+	Program *Program
+	Kind    Kind
+	// Query is the body conjunctive query (KindJoin, KindAggregate).
+	Query hypergraph.Query
+	// Head is the output column order: for KindJoin a permutation of
+	// Query.Vars(); for KindAggregate the group-by variables followed by
+	// the aggregate output attribute; for KindRecursive the head
+	// variable names.
+	Head []string
+	// Aggregate is the group-by spec (KindAggregate only).
+	Aggregate *core.AggregateSpec
+	// Recursive is the fixpoint plan (KindRecursive only).
+	Recursive *Recursive
+	// RelFor maps each Query atom name to the catalog relation it
+	// reads. Atom names equal relation names except for self-joins,
+	// where later occurrences get "#2", "#3", ... suffixes.
+	RelFor map[string]string
+}
+
+// Compile analyzes the program against the catalog and builds the
+// executable form: safety (range restriction), arity and existence
+// checks, the repeated-variable and size limits, then construction of
+// the hypergraph query, aggregation spec, or fixpoint plan. All errors
+// are positioned *Error values with stable messages.
+func Compile(prog *Program, cat *Catalog) (*Compiled, error) {
+	if len(prog.Rules) == 0 {
+		return nil, errAt(Pos{1, 1}, "empty program: expected at least one rule")
+	}
+	headName := prog.Rules[0].Head.Name
+	recursive := false
+	for _, r := range prog.Rules {
+		if r.Head.Name != headName {
+			return nil, errAt(r.Head.Pos, "all rules must define one predicate: got %q and %q", headName, r.Head.Name)
+		}
+		if _, ok := cat.Arity(headName); ok {
+			return nil, errAt(r.Head.Pos, "head predicate %q is also a catalog relation", headName)
+		}
+		for _, a := range r.Body {
+			if a.Name == headName {
+				recursive = true
+				continue
+			}
+			arity, ok := cat.Arity(a.Name)
+			if !ok {
+				return nil, errAt(a.Pos, "unknown relation %q", a.Name)
+			}
+			if arity != len(a.Vars) {
+				return nil, errAt(a.Pos, "relation %s has arity %d, atom %s uses %d variables", a.Name, arity, a.Name, len(a.Vars))
+			}
+		}
+		for _, a := range r.Body {
+			seen := map[string]Pos{}
+			for _, v := range a.Vars {
+				if _, dup := seen[v.Name]; dup {
+					return nil, errAt(v.Pos, "atom %s repeats variable %q", a.Name, v.Name)
+				}
+				seen[v.Name] = v.Pos
+			}
+		}
+	}
+	if len(prog.Rules) == 1 && !recursive {
+		return compileSingle(prog, cat)
+	}
+	if len(prog.Rules) == 1 && recursive {
+		for _, a := range prog.Rules[0].Body {
+			if a.Name == headName {
+				return nil, errAt(a.Pos, "rule references its own head %q but the program has no base rule", headName)
+			}
+		}
+	}
+	return compileRecursive(prog, cat)
+}
+
+// compileSingle handles the one-rule, non-recursive case: a plain
+// conjunctive query or an aggregation over one.
+func compileSingle(prog *Program, cat *Catalog) (*Compiled, error) {
+	rule := prog.Rules[0]
+	if len(rule.Body) > maxAtoms {
+		return nil, errAt(rule.Body[maxAtoms].Pos, "too many atoms (limit %d)", maxAtoms)
+	}
+
+	// Body variables in first-occurrence order.
+	var bodyVars []string
+	bodySeen := map[string]bool{}
+	for _, a := range rule.Body {
+		for _, v := range a.Vars {
+			if !bodySeen[v.Name] {
+				bodySeen[v.Name] = true
+				bodyVars = append(bodyVars, v.Name)
+			}
+		}
+	}
+	if len(bodyVars) > maxVars {
+		return nil, errAt(rule.Head.Pos, "too many variables (limit %d)", maxVars)
+	}
+
+	// Head terms: plain group/output variables, at most one aggregation,
+	// which must come last.
+	var plain []string
+	plainSeen := map[string]bool{}
+	var agg *HeadTerm
+	for _, t := range rule.Head.Terms {
+		if t.Agg == AggNone {
+			if agg != nil {
+				return nil, errAt(t.Pos, "the aggregation must be the last head term")
+			}
+			if plainSeen[t.Var] {
+				return nil, errAt(t.Pos, "head repeats variable %q", t.Var)
+			}
+			plainSeen[t.Var] = true
+			if !bodySeen[t.Var] {
+				return nil, errAt(t.Pos, "unsafe head variable %q: not bound in the rule body", t.Var)
+			}
+			plain = append(plain, t.Var)
+			continue
+		}
+		if agg != nil {
+			return nil, errAt(t.Pos, "at most one aggregation per head")
+		}
+		if !bodySeen[t.Var] {
+			return nil, errAt(t.Pos, "unsafe aggregated variable %q: not bound in the rule body", t.Var)
+		}
+		tc := t
+		agg = &tc
+	}
+
+	q, relFor, err := bodyQuery(rule)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{Program: prog, Query: q, RelFor: relFor}
+
+	if agg == nil {
+		// Full conjunctive query: the head must mention every body
+		// variable (the MPC model has no projection outside aggregation).
+		for _, v := range bodyVars {
+			if !plainSeen[v] {
+				return nil, errAt(rule.Head.Pos, "head omits body variable %q: every body variable must appear in the head (projection is only available through aggregation)", v)
+			}
+		}
+		c.Kind = KindJoin
+		c.Head = plain
+		return c, nil
+	}
+	if len(plain) == 0 {
+		return nil, errAt(rule.Head.Pos, "aggregation needs at least one plain group-by variable in the head")
+	}
+	outAttr := agg.Agg.String() + "_" + agg.Var
+	c.Kind = KindAggregate
+	c.Head = append(append([]string{}, plain...), outAttr)
+	c.Aggregate = &core.AggregateSpec{
+		GroupBy: plain,
+		Fn:      aggFn(agg.Agg),
+		AggVar:  agg.Var,
+		OutAttr: outAttr,
+	}
+	return c, nil
+}
+
+func aggFn(a Agg) relation.AggFunc {
+	switch a {
+	case AggSum:
+		return relation.Sum
+	case AggCount:
+		return relation.Count
+	case AggMin:
+		return relation.Min
+	case AggMax:
+		return relation.Max
+	}
+	panic(fmt.Sprintf("query: no aggregate function for %v", int(a)))
+}
+
+// bodyQuery builds the hypergraph query for a rule body, aliasing
+// repeated relation names ("R", "R#2", ...) so atom names stay unique.
+func bodyQuery(rule *Rule) (hypergraph.Query, map[string]string, error) {
+	relFor := map[string]string{}
+	count := map[string]int{}
+	atoms := make([]hypergraph.Atom, len(rule.Body))
+	for i, a := range rule.Body {
+		count[a.Name]++
+		alias := a.Name
+		if count[a.Name] > 1 {
+			alias = fmt.Sprintf("%s#%d", a.Name, count[a.Name])
+		}
+		relFor[alias] = a.Name
+		vars := make([]string, len(a.Vars))
+		for j, v := range a.Vars {
+			vars[j] = v.Name
+		}
+		atoms[i] = hypergraph.Atom{Name: alias, Vars: vars}
+	}
+	q, err := hypergraph.TryNewQuery(rule.Head.Name, atoms...)
+	if err != nil {
+		// The per-atom checks in Compile catch these first; this is the
+		// safety net for any validation the hypergraph layer adds later.
+		return hypergraph.Query{}, nil, errAt(rule.Head.Pos, "%s", strings.TrimPrefix(err.Error(), "hypergraph: "))
+	}
+	return q, relFor, nil
+}
+
+// compileRecursive matches a multi-rule program onto the fixpoint
+// workloads internal/recursive evaluates: linear transitive closure
+// (binary head) and reachability (unary head).
+func compileRecursive(prog *Program, cat *Catalog) (*Compiled, error) {
+	headName := prog.Rules[0].Head.Name
+	unsupported := errAt(prog.Rules[0].Head.Pos,
+		"unsupported recursive program: only linear transitive closure tc(x,z) :- tc(x,y), E(y,z) and reachability reach(y) :- reach(x), E(x,y) compile to fixpoints")
+	for _, r := range prog.Rules {
+		for _, t := range r.Head.Terms {
+			if t.Agg != AggNone {
+				return nil, errAt(t.Pos, "aggregation is not supported in recursive rules")
+			}
+		}
+	}
+	if len(prog.Rules) != 2 {
+		return nil, unsupported
+	}
+	// Identify the base (no self-reference) and recursive rules.
+	var base, rec *Rule
+	for _, r := range prog.Rules {
+		self := false
+		for _, a := range r.Body {
+			if a.Name == headName {
+				self = true
+			}
+		}
+		if self {
+			if rec != nil {
+				return nil, unsupported
+			}
+			rec = r
+		} else {
+			if base != nil {
+				return nil, errAt(r.Head.Pos, "multiple rules form a union, which is not supported without recursion")
+			}
+			base = r
+		}
+	}
+	if base == nil {
+		return nil, errAt(prog.Rules[0].Head.Pos, "rule references its own head %q but the program has no base rule", headName)
+	}
+	if rec == nil {
+		return nil, errAt(prog.Rules[1].Head.Pos, "multiple rules form a union, which is not supported without recursion")
+	}
+
+	headVars := func(r *Rule) []string {
+		out := make([]string, len(r.Head.Terms))
+		for i, t := range r.Head.Terms {
+			out[i] = t.Var
+		}
+		return out
+	}
+	// Safety for both rules: every head variable bound in its body.
+	for _, r := range []*Rule{base, rec} {
+		bound := map[string]bool{}
+		for _, a := range r.Body {
+			for _, v := range a.Vars {
+				bound[v.Name] = true
+			}
+		}
+		for _, t := range r.Head.Terms {
+			if !bound[t.Var] {
+				return nil, errAt(t.Pos, "unsafe head variable %q: not bound in the rule body", t.Var)
+			}
+		}
+	}
+
+	arity := len(base.Head.Terms)
+	if len(rec.Head.Terms) != arity {
+		return nil, errAt(rec.Head.Pos, "rules for %q disagree on arity: %d vs %d", headName, arity, len(rec.Head.Terms))
+	}
+	switch arity {
+	case 2:
+		return matchTransitiveClosure(prog, headName, base, rec, headVars, unsupported)
+	case 1:
+		return matchReachability(prog, headName, base, rec, headVars, unsupported)
+	}
+	return nil, unsupported
+}
+
+// matchTransitiveClosure recognizes, modulo variable renaming and body
+// atom order:
+//
+//	P(a, b) :- E(a, b).
+//	P(x, z) :- P(x, y), E(y, z).    (or the right-linear mirror)
+func matchTransitiveClosure(prog *Program, headName string, base, rec *Rule, headVars func(*Rule) []string, unsupported *Error) (*Compiled, error) {
+	if len(base.Body) != 1 || len(rec.Body) != 2 {
+		return nil, unsupported
+	}
+	edge := base.Body[0]
+	if edge.Name == headName || len(edge.Vars) != 2 {
+		return nil, unsupported
+	}
+	hv := headVars(base)
+	if hv[0] != edge.Vars[0].Name || hv[1] != edge.Vars[1].Name || hv[0] == hv[1] {
+		return nil, unsupported
+	}
+	// Recursive rule: one self atom, one edge atom over the same
+	// relation as the base rule.
+	var self, step *Atom
+	for i := range rec.Body {
+		a := &rec.Body[i]
+		if a.Name == headName {
+			self = a
+		} else {
+			step = a
+		}
+	}
+	if self == nil || step == nil || step.Name != edge.Name || len(self.Vars) != 2 || len(step.Vars) != 2 {
+		return nil, unsupported
+	}
+	rh := headVars(rec)
+	ok := false
+	// Left-linear: head (x,z), self (x,y), step (y,z).
+	if rh[0] == self.Vars[0].Name && self.Vars[1].Name == step.Vars[0].Name && step.Vars[1].Name == rh[1] {
+		ok = distinct(rh[0], self.Vars[1].Name, rh[1])
+	}
+	// Right-linear: head (x,z), step (x,y), self (y,z).
+	if !ok && rh[0] == step.Vars[0].Name && step.Vars[1].Name == self.Vars[0].Name && self.Vars[1].Name == rh[1] {
+		ok = distinct(rh[0], step.Vars[1].Name, rh[1])
+	}
+	if !ok {
+		return nil, unsupported
+	}
+	return &Compiled{
+		Program:   prog,
+		Kind:      KindRecursive,
+		Head:      headVars(rec),
+		Recursive: &Recursive{Kind: core.RecTransitiveClosure, EdgeRel: edge.Name},
+	}, nil
+}
+
+// matchReachability recognizes, modulo variable renaming and body atom
+// order:
+//
+//	P(x) :- S(x).
+//	P(y) :- P(x), E(x, y).
+func matchReachability(prog *Program, headName string, base, rec *Rule, headVars func(*Rule) []string, unsupported *Error) (*Compiled, error) {
+	if len(base.Body) != 1 || len(rec.Body) != 2 {
+		return nil, unsupported
+	}
+	src := base.Body[0]
+	if src.Name == headName || len(src.Vars) != 1 || headVars(base)[0] != src.Vars[0].Name {
+		return nil, unsupported
+	}
+	var self, step *Atom
+	for i := range rec.Body {
+		a := &rec.Body[i]
+		if a.Name == headName {
+			self = a
+		} else {
+			step = a
+		}
+	}
+	if self == nil || step == nil || len(self.Vars) != 1 || len(step.Vars) != 2 {
+		return nil, unsupported
+	}
+	rh := headVars(rec)
+	if self.Vars[0].Name != step.Vars[0].Name || step.Vars[1].Name != rh[0] || !distinct(self.Vars[0].Name, rh[0]) {
+		return nil, unsupported
+	}
+	return &Compiled{
+		Program:   prog,
+		Kind:      KindRecursive,
+		Head:      rh,
+		Recursive: &Recursive{Kind: core.RecReachable, EdgeRel: step.Name, SourceRel: src.Name},
+	}, nil
+}
+
+func distinct(vs ...string) bool {
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// ShapeKey returns the canonical shape of the compiled query: catalog
+// relation names with variables renamed in first-occurrence order, the
+// head and aggregation shape, but no variable or head-predicate names.
+// Two queries share a key exactly when the planner would treat them
+// identically, which is what the service's plan cache keys on
+// (together with the stats fingerprint and p).
+func (c *Compiled) ShapeKey() string {
+	var b strings.Builder
+	b.WriteString(c.Kind.String())
+	switch c.Kind {
+	case KindRecursive:
+		b.WriteByte(' ')
+		b.WriteString(string(c.Recursive.Kind))
+		b.WriteByte(' ')
+		b.WriteString(c.Recursive.EdgeRel)
+		if c.Recursive.SourceRel != "" {
+			b.WriteByte(' ')
+			b.WriteString(c.Recursive.SourceRel)
+		}
+	default:
+		canon := map[string]string{}
+		name := func(v string) string {
+			if n, ok := canon[v]; ok {
+				return n
+			}
+			n := fmt.Sprintf("v%d", len(canon))
+			canon[v] = n
+			return n
+		}
+		b.WriteByte(' ')
+		for i, a := range c.Query.Atoms {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(c.RelFor[a.Name])
+			b.WriteByte('(')
+			for j, v := range a.Vars {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(name(v))
+			}
+			b.WriteByte(')')
+		}
+		b.WriteString("->")
+		if c.Kind == KindAggregate {
+			for i, g := range c.Aggregate.GroupBy {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(name(g))
+			}
+			fmt.Fprintf(&b, "|%s(%s)", c.Program.Rules[0].Head.Terms[len(c.Program.Rules[0].Head.Terms)-1].Agg, name(c.Aggregate.AggVar))
+		} else {
+			for i, h := range c.Head {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(name(h))
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"mpcquery/internal/core"
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/relation"
+)
+
+func mustCompile(t *testing.T, src string, cat *Catalog) *Compiled {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	c, err := Compile(prog, cat)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return c
+}
+
+func TestCompileJoin(t *testing.T) {
+	c := mustCompile(t, "triangle(x, y, z) :- R(x, y), S(y, z), T(z, x).", testCatalog())
+	if c.Kind != KindJoin {
+		t.Fatalf("kind %v", c.Kind)
+	}
+	if !reflect.DeepEqual(c.Query, hypergraph.Triangle()) {
+		t.Fatalf("compiled query %v differs from handwritten %v", c.Query, hypergraph.Triangle())
+	}
+	if !reflect.DeepEqual(c.Head, []string{"x", "y", "z"}) {
+		t.Fatalf("head %v", c.Head)
+	}
+	if c.RelFor["R"] != "R" || c.RelFor["T"] != "T" {
+		t.Fatalf("relFor %v", c.RelFor)
+	}
+}
+
+// The head may permute the body's first-occurrence variable order; the
+// compiled hypergraph is unchanged and only the output projection
+// differs.
+func TestCompileHeadPermutation(t *testing.T) {
+	c := mustCompile(t, "q(z, x, y) :- R(x, y), S(y, z).", testCatalog())
+	want := hypergraph.NewQuery("q",
+		hypergraph.Atom{Name: "R", Vars: []string{"x", "y"}},
+		hypergraph.Atom{Name: "S", Vars: []string{"y", "z"}},
+	)
+	if !reflect.DeepEqual(c.Query, want) {
+		t.Fatalf("query %v", c.Query)
+	}
+	if !reflect.DeepEqual(c.Head, []string{"z", "x", "y"}) {
+		t.Fatalf("head %v", c.Head)
+	}
+}
+
+// Self-joins alias later occurrences so hypergraph atom names stay
+// unique, with RelFor mapping every alias back to the one relation.
+func TestCompileSelfJoinAliases(t *testing.T) {
+	c := mustCompile(t, "q(x, y, z) :- E(x, y), E(y, z).", testCatalog())
+	if got := c.Query.Atoms[1].Name; got != "E#2" {
+		t.Fatalf("alias %q", got)
+	}
+	if c.RelFor["E"] != "E" || c.RelFor["E#2"] != "E" {
+		t.Fatalf("relFor %v", c.RelFor)
+	}
+	// And the aliased query executes: a 2-hop path count.
+	e := relation.FromRows("E", []string{"a", "b"}, [][]relation.Value{{1, 2}, {2, 3}, {3, 4}})
+	res, err := c.Run(core.NewEngine(4, 1), map[string]*relation.Relation{"E": e}, core.AlgAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.Len() != 2 {
+		t.Fatalf("%d rows, want 2 two-hop paths", res.Output.Len())
+	}
+}
+
+func TestCompileAggregate(t *testing.T) {
+	c := mustCompile(t, "spend(cust, month, sum(price)) :- O(cust, month, price).", testCatalog())
+	if c.Kind != KindAggregate {
+		t.Fatalf("kind %v", c.Kind)
+	}
+	want := &core.AggregateSpec{
+		GroupBy: []string{"cust", "month"},
+		Fn:      relation.Sum,
+		AggVar:  "price",
+		OutAttr: "sum_price",
+	}
+	if !reflect.DeepEqual(c.Aggregate, want) {
+		t.Fatalf("spec %+v", c.Aggregate)
+	}
+	if !reflect.DeepEqual(c.Head, []string{"cust", "month", "sum_price"}) {
+		t.Fatalf("head %v", c.Head)
+	}
+}
+
+func TestCompileTransitiveClosure(t *testing.T) {
+	for _, src := range []string{
+		// Left-linear, body order as written.
+		"tc(x, y) :- E(x, y).\ntc(x, z) :- tc(x, y), E(y, z).",
+		// Right-linear.
+		"tc(x, y) :- E(x, y).\ntc(x, z) :- E(x, y), tc(y, z).",
+		// Rules in the other order, fresh variable names.
+		"path(a, c) :- path(a, b), E(b, c).\npath(u, v) :- E(u, v).",
+	} {
+		c := mustCompile(t, src, testCatalog())
+		if c.Kind != KindRecursive || c.Recursive.Kind != core.RecTransitiveClosure || c.Recursive.EdgeRel != "E" {
+			t.Fatalf("%q: %+v", src, c.Recursive)
+		}
+	}
+}
+
+func TestCompileReachability(t *testing.T) {
+	c := mustCompile(t, "reach(x) :- V(x).\nreach(y) :- reach(x), E(x, y).", testCatalog())
+	if c.Kind != KindRecursive || c.Recursive.Kind != core.RecReachable {
+		t.Fatalf("%+v", c.Recursive)
+	}
+	if c.Recursive.EdgeRel != "E" || c.Recursive.SourceRel != "V" {
+		t.Fatalf("%+v", c.Recursive)
+	}
+}
+
+// ShapeKey canonicalizes variable and head-predicate names, so
+// alpha-equivalent queries share a plan-cache key while structurally
+// different ones do not.
+func TestShapeKey(t *testing.T) {
+	cat := testCatalog()
+	a := mustCompile(t, "q(x, y, z) :- R(x, y), S(y, z).", cat)
+	b := mustCompile(t, "other(u, v, w) :- R(u, v), S(v, w).", cat)
+	if a.ShapeKey() != b.ShapeKey() {
+		t.Fatalf("alpha-equivalent queries got different keys:\n%q\n%q", a.ShapeKey(), b.ShapeKey())
+	}
+	c := mustCompile(t, "q(x, y, z) :- R(x, y), T(y, z).", cat)
+	if a.ShapeKey() == c.ShapeKey() {
+		t.Fatalf("different relations share key %q", a.ShapeKey())
+	}
+	d := mustCompile(t, "q(z, y, x) :- R(x, y), S(y, z).", cat)
+	if a.ShapeKey() == d.ShapeKey() {
+		t.Fatalf("different head order shares key %q", a.ShapeKey())
+	}
+	agg1 := mustCompile(t, "q(x, sum(y)) :- R(x, y).", cat)
+	agg2 := mustCompile(t, "r(a, sum(b)) :- R(a, b).", cat)
+	if agg1.ShapeKey() != agg2.ShapeKey() {
+		t.Fatalf("alpha-equivalent aggregates differ:\n%q\n%q", agg1.ShapeKey(), agg2.ShapeKey())
+	}
+	agg3 := mustCompile(t, "q(x, min(y)) :- R(x, y).", cat)
+	if agg1.ShapeKey() == agg3.ShapeKey() {
+		t.Fatalf("sum and min share key %q", agg1.ShapeKey())
+	}
+}
+
+func TestRunRecursiveRenamesHead(t *testing.T) {
+	e := relation.FromRows("E", []string{"src", "dst"}, [][]relation.Value{{1, 2}, {2, 3}})
+	c := mustCompile(t, "tc(a, b) :- E(a, b).\ntc(a, c) :- tc(a, b), E(b, c).", testCatalog())
+	res, err := c.Run(core.NewEngine(4, 1), map[string]*relation.Relation{"E": e}, core.AlgAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output columns take the recursive rule's head variable names.
+	if !reflect.DeepEqual(res.Output.Attrs(), []string{"a", "c"}) {
+		t.Fatalf("attrs %v", res.Output.Attrs())
+	}
+	if res.Output.Len() != 3 || res.Iterations < 1 {
+		t.Fatalf("len %d iters %d", res.Output.Len(), res.Iterations)
+	}
+}

@@ -1,0 +1,214 @@
+package query
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mpcquery/internal/core"
+	"mpcquery/internal/hypercube"
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/plan"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/testkit"
+	"mpcquery/internal/workload"
+)
+
+// Differential wall between the Datalog frontend and the handwritten
+// query constructors: for every canonical shape, parsing the Datalog
+// form must yield the same hypergraph, the same chosen plan, byte-equal
+// EXPLAIN output (pinned as golden files under testdata/), and
+// bit-identical executed results with the same metered (L, r, C).
+
+var update = flag.Bool("update", false, "rewrite golden EXPLAIN files under testdata/")
+
+type diffCase struct {
+	name string
+	src  string
+	want hypergraph.Query
+	agg  *core.AggregateSpec
+}
+
+func diffCases() []diffCase {
+	return []diffCase{
+		{
+			name: "triangle",
+			src:  "triangle(x, y, z) :- R(x, y), S(y, z), T(z, x).",
+			want: hypergraph.Triangle(),
+		},
+		{
+			name: "path4",
+			src:  "path4(A0, A1, A2, A3, A4) :- R1(A0, A1), R2(A1, A2), R3(A2, A3), R4(A3, A4).",
+			want: hypergraph.Path(4),
+		},
+		{
+			name: "star3",
+			src:  "star3(A0, A1, A2, A3) :- R1(A0, A1), R2(A0, A2), R3(A0, A3).",
+			want: hypergraph.Star(3),
+		},
+		{
+			name: "groupby",
+			src:  "join2(x, sum(z)) :- R(x, y), S(y, z).",
+			want: hypergraph.TwoWayJoin(),
+			agg: &core.AggregateSpec{
+				GroupBy: []string{"x"},
+				Fn:      relation.Sum,
+				AggVar:  "z",
+				OutAttr: "sum_z",
+			},
+		},
+	}
+}
+
+func catalogFor(q hypergraph.Query) *Catalog {
+	cat := NewCatalog()
+	for _, a := range q.Atoms {
+		cat.Add(a.Name, len(a.Vars))
+	}
+	return cat
+}
+
+// diffInputs generates the same uniform instance mpcrun would: one
+// relation per atom, seeded per atom index, so both sides of every
+// comparison see identical bytes.
+func diffInputs(q hypergraph.Query, n int, seed int64) map[string]*relation.Relation {
+	rels := map[string]*relation.Relation{}
+	dom := n / 2
+	for i, a := range q.Atoms {
+		rels[a.Name] = workload.Uniform(a.Name, append([]string{}, a.Vars...), n, dom, seed+int64(i))
+	}
+	return rels
+}
+
+func sameRelation(t *testing.T, label string, want, got *relation.Relation) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Attrs(), got.Attrs()) {
+		t.Fatalf("%s: attrs %v vs %v", label, want.Attrs(), got.Attrs())
+	}
+	if want.Len() != got.Len() {
+		t.Fatalf("%s: %d rows vs %d", label, want.Len(), got.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if !reflect.DeepEqual(want.Row(i), got.Row(i)) {
+			t.Fatalf("%s: row %d: %v vs %v", label, i, want.Row(i), got.Row(i))
+		}
+	}
+}
+
+func TestFrontendDifferential(t *testing.T) {
+	const (
+		p    = 8
+		n    = 200
+		seed = int64(1)
+	)
+	for _, tc := range diffCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c := mustCompile(t, tc.src, catalogFor(tc.want))
+			if !reflect.DeepEqual(c.Query, tc.want) {
+				t.Fatalf("compiled query:\n got %v\nwant %v", c.Query, tc.want)
+			}
+			if !reflect.DeepEqual(c.Aggregate, tc.agg) {
+				t.Fatalf("aggregate spec:\n got %+v\nwant %+v", c.Aggregate, tc.agg)
+			}
+
+			rels := diffInputs(tc.want, n, seed)
+			opts := plan.Options{Aggregate: tc.agg}
+			plParsed, err := plan.For(c.Query, rels, p, opts)
+			if err != nil {
+				t.Fatalf("plan parsed: %v", err)
+			}
+			plHand, err := plan.For(tc.want, rels, p, opts)
+			if err != nil {
+				t.Fatalf("plan handwritten: %v", err)
+			}
+			if plParsed.Best().Alg != plHand.Best().Alg {
+				t.Fatalf("chosen plan: %s vs %s", plParsed.Best().Alg, plHand.Best().Alg)
+			}
+			explain := plParsed.Explain()
+			if handExplain := plHand.Explain(); explain != handExplain {
+				t.Fatalf("EXPLAIN diverges:\nparsed:\n%s\nhandwritten:\n%s", explain, handExplain)
+			}
+			checkGolden(t, tc.name, explain)
+
+			// Execution: same engine parameters must give bit-identical
+			// output relations and identical metered cost.
+			res, err := c.Run(core.NewEngine(p, seed), rels, core.AlgAuto)
+			if err != nil {
+				t.Fatalf("run parsed: %v", err)
+			}
+			req := core.Request{Query: tc.want, Relations: rels, Algorithm: core.AlgAuto}
+			var handExec *core.Execution
+			if tc.agg != nil {
+				handExec, err = core.NewEngine(p, seed).ExecuteAggregate(req, *tc.agg)
+			} else {
+				handExec, err = core.NewEngine(p, seed).Execute(req)
+			}
+			if err != nil {
+				t.Fatalf("run handwritten: %v", err)
+			}
+			if res.Algorithm != handExec.Algorithm {
+				t.Fatalf("algorithm %s vs %s", res.Algorithm, handExec.Algorithm)
+			}
+			if res.Rounds != handExec.Rounds || res.MaxLoad != handExec.MaxLoad || res.TotalComm != handExec.TotalComm {
+				t.Fatalf("cost (L=%d r=%d C=%d) vs (L=%d r=%d C=%d)",
+					res.MaxLoad, res.Rounds, res.TotalComm,
+					handExec.MaxLoad, handExec.Rounds, handExec.TotalComm)
+			}
+			// A plain join head in body order is the identity projection, so
+			// the outputs must match byte for byte; the aggregate head is
+			// group-by columns plus the aggregate, which is exactly the
+			// ExecuteAggregate schema.
+			sameRelation(t, "output", handExec.Output, res.Output)
+		})
+	}
+}
+
+// TestFrontendFragmentsIdentical runs the triangle on two raw clusters —
+// one with the parsed query, one with the handwritten constructor — and
+// asserts every server holds bit-identical fragments, the strongest
+// equality the testkit offers.
+func TestFrontendFragmentsIdentical(t *testing.T) {
+	const (
+		p    = 4
+		n    = 120
+		seed = int64(7)
+	)
+	want := hypergraph.Triangle()
+	c := mustCompile(t, "triangle(x, y, z) :- R(x, y), S(y, z), T(z, x).", catalogFor(want))
+	rels := diffInputs(want, n, seed)
+
+	handCluster := mpc.NewCluster(p, seed)
+	if _, err := hypercube.Run(handCluster, want, rels, "out", uint64(seed), hypercube.LocalGeneric); err != nil {
+		t.Fatalf("handwritten run: %v", err)
+	}
+	parsedCluster := mpc.NewCluster(p, seed)
+	if _, err := hypercube.Run(parsedCluster, c.Query, rels, "out", uint64(seed), hypercube.LocalGeneric); err != nil {
+		t.Fatalf("parsed run: %v", err)
+	}
+	testkit.AssertSameFragments(t, handCluster, parsedCluster)
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".explain")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Fatalf("EXPLAIN differs from golden %s (re-run with -update if intended):\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,21 @@
+// Package query is the parsed frontend of the engine: a Datalog-style
+// conjunctive-query language with a hand-written lexer and parser,
+// semantic analysis (safety/range restriction, arity checks against a
+// catalog, structural limits for untrusted input), and compilation
+// onto the existing execution stack.
+//
+//	triangle(x, y, z) :- R(x, y), S(y, z), T(z, x).
+//	sales(cust, sum(price)) :- O(cust, item, price).
+//	tc(x, y) :- E(x, y).
+//	tc(x, z) :- tc(x, y), E(y, z).
+//
+// A single rule compiles to exactly the hypergraph.Query a handwritten
+// construction would produce — bit-identical plans, EXPLAIN output,
+// and results, pinned by the frontend differential suite — so parsed
+// queries flow unchanged through internal/plan, both transports, chaos
+// recovery, and tracing. Aggregation heads compile to
+// core.AggregateSpec; recursive rule sets pattern-match onto the
+// internal/recursive fixpoint workloads (linear transitive closure and
+// reachability). Both cmd/mpcrun and the mpcserve service share this
+// one frontend.
+package query

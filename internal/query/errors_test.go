@@ -1,0 +1,185 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Error-path tests pinning the exact message for every class of
+// malformed input the frontend rejects. These strings are API: the
+// service returns them to clients, so changing one is a visible
+// behavior change and must be deliberate.
+
+func testCatalog() *Catalog {
+	c := NewCatalog()
+	c.Add("R", 2)
+	c.Add("S", 2)
+	c.Add("T", 2)
+	c.Add("E", 2)
+	c.Add("V", 1)
+	c.Add("O", 3)
+	return c
+}
+
+func TestParseErrorMessages(t *testing.T) {
+	for _, tc := range []struct {
+		name, src, want string
+	}{
+		{"empty", "", "query: 1:1: empty program: expected at least one rule"},
+		{"comment only", "% nothing", "query: 1:1: empty program: expected at least one rule"},
+		{"missing implies", "q(x) R(x)", `query: 1:6: expected ':-', got "R"`},
+		{"half implies", "q(x) : R(x)", "query: 1:6: expected ':-', got ':'"},
+		{"constant in body", "q(x) :- R(x, 7)", "query: 1:14: constants are not supported: terms must be variables"},
+		{"constant in head", "q(3) :- R(x, y)", "query: 1:3: constants are not supported: terms must be variables"},
+		{"agg in body", "q(x) :- R(x, sum(y))", "query: 1:17: aggregation is only allowed in the rule head"},
+		{"unclosed atom", "q(x) :- R(x", "query: 1:12: expected ')', got end of input"},
+		{"empty atom", "q(x) :- R()", `query: 1:11: expected identifier, got ')'`},
+		{"missing separator", "q(x) :- R(x) S(x)", `query: 1:14: expected ',' or '.' after atom, got "S"`},
+		{"bad character", "q(x) :- R(x) & S(x)", `query: 1:14: unexpected character "&"`},
+		{"headless", ":- R(x)", "query: 1:1: expected identifier, got ':-'"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse(%q): expected error", tc.src)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("Parse(%q):\n got %q\nwant %q", tc.src, err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+func TestCompileErrorMessages(t *testing.T) {
+	for _, tc := range []struct {
+		name, src, want string
+	}{
+		{
+			"unknown relation",
+			"q(x, y) :- R(x, y), Missing(y)",
+			`query: 1:21: unknown relation "Missing"`,
+		},
+		{
+			"arity mismatch",
+			"q(x, y, z) :- R(x, y, z)",
+			"query: 1:15: relation R has arity 2, atom R uses 3 variables",
+		},
+		{
+			"unsafe head variable",
+			"q(x, y, w) :- R(x, y)",
+			`query: 1:9: unsafe head variable "w": not bound in the rule body`,
+		},
+		{
+			"unsafe aggregated variable",
+			"q(x, sum(w)) :- R(x, y)",
+			`query: 1:6: unsafe aggregated variable "w": not bound in the rule body`,
+		},
+		{
+			"repeated variable in atom",
+			"q(x) :- R(x, x)",
+			`query: 1:14: atom R repeats variable "x"`,
+		},
+		{
+			"head repeats variable",
+			"q(x, x) :- R(x, y)",
+			`query: 1:6: head repeats variable "x"`,
+		},
+		{
+			"projection without aggregation",
+			"q(x) :- R(x, y)",
+			`query: 1:1: head omits body variable "y": every body variable must appear in the head (projection is only available through aggregation)`,
+		},
+		{
+			"aggregation not last",
+			"q(sum(y), x) :- R(x, y)",
+			"query: 1:11: the aggregation must be the last head term",
+		},
+		{
+			"aggregation not last three terms",
+			"q(x, sum(y), z) :- R(x, y), S(y, z)",
+			"query: 1:14: the aggregation must be the last head term",
+		},
+		{
+			"two aggregations",
+			"q(x, sum(y), min(y)) :- R(x, y)",
+			"query: 1:14: at most one aggregation per head",
+		},
+		{
+			"aggregation without group-by",
+			"q(sum(y)) :- R(x, y)",
+			"query: 1:1: aggregation needs at least one plain group-by variable in the head",
+		},
+		{
+			"head collides with catalog",
+			"R(x, y) :- S(x, y)",
+			`query: 1:1: head predicate "R" is also a catalog relation`,
+		},
+		{
+			"self-recursive without base",
+			"tc(x, z) :- tc(x, y), E(y, z)",
+			`query: 1:13: rule references its own head "tc" but the program has no base rule`,
+		},
+		{
+			"union of rules",
+			"q(x, y) :- R(x, y).\nq(x, y) :- S(x, y).",
+			"query: 2:1: multiple rules form a union, which is not supported without recursion",
+		},
+		{
+			"two head predicates",
+			"q(x, y) :- R(x, y).\nr(x, y) :- S(x, y).",
+			`query: 2:1: all rules must define one predicate: got "q" and "r"`,
+		},
+		{
+			"nonlinear recursion",
+			"tc(x, y) :- E(x, y).\ntc(x, z) :- tc(x, y), tc(y, z).",
+			"query: 1:1: unsupported recursive program: only linear transitive closure tc(x,z) :- tc(x,y), E(y,z) and reachability reach(y) :- reach(x), E(x,y) compile to fixpoints",
+		},
+		{
+			"aggregation in recursive rules",
+			"tc(x, y) :- E(x, y).\ntc(x, sum(z)) :- tc(x, y), E(y, z).",
+			"query: 2:7: aggregation is not supported in recursive rules",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tc.src, err)
+			}
+			_, err = Compile(prog, testCatalog())
+			if err == nil {
+				t.Fatalf("Compile(%q): expected error", tc.src)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("Compile(%q):\n got %q\nwant %q", tc.src, err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+func TestCompileLimits(t *testing.T) {
+	// 17 atoms exceed maxAtoms.
+	body := ""
+	for i := 0; i < 17; i++ {
+		if i > 0 {
+			body += ", "
+		}
+		body += "V(x)"
+	}
+	prog := mustParse(t, "q(x) :- "+body)
+	if _, err := Compile(prog, testCatalog()); err == nil || !strings.Contains(err.Error(), "too many atoms (limit 16)") {
+		t.Fatalf("atoms limit: %v", err)
+	}
+	// 21 distinct variables (7 ternary atoms) exceed maxVars without
+	// tripping the atom limit first.
+	var headVars, atoms []string
+	for i := 0; i < 7; i++ {
+		vs := []string{fmt.Sprintf("x%d", 3*i), fmt.Sprintf("x%d", 3*i+1), fmt.Sprintf("x%d", 3*i+2)}
+		headVars = append(headVars, vs...)
+		atoms = append(atoms, "O("+strings.Join(vs, ", ")+")")
+	}
+	prog = mustParse(t, "q("+strings.Join(headVars, ", ")+") :- "+strings.Join(atoms, ", "))
+	if _, err := Compile(prog, testCatalog()); err == nil || !strings.Contains(err.Error(), "too many variables (limit 20)") {
+		t.Fatalf("vars limit: %v", err)
+	}
+}

@@ -1,0 +1,86 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseQuery asserts the two frontend invariants on arbitrary
+// input: Parse never panics, and any accepted program's canonical
+// String() form reparses to the same canonical form (round-trip
+// stability — the property that makes String() usable as a cache key
+// component and in error reporting).
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		"triangle(x, y, z) :- R(x, y), S(y, z), T(z, x).",
+		"q(x,y) :- R(x,y)",
+		"sales(c, sum(p)) :- O(c, i, p).",
+		"tc(x,y) :- E(x,y).\ntc(x,z) :- tc(x,y), E(y,z).",
+		"reach(x) :- V(x).\nreach(y) :- reach(x), E(x,y).",
+		"q(sum, count) :- R(sum, count). % comment",
+		"q(x) :- R(x,\n  1)",
+		":- R(x)",
+		"q(x) :- R(x) & S(x)",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			if prog != nil {
+				t.Fatalf("Parse(%q) returned both a program and error %v", src, err)
+			}
+			return
+		}
+		s1 := prog.String()
+		prog2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %q from %q: %v", s1, src, err)
+		}
+		if s2 := prog2.String(); s2 != s1 {
+			t.Fatalf("round trip unstable:\n src %q\n  s1 %q\n  s2 %q", src, s1, s2)
+		}
+	})
+}
+
+// FuzzCompileQuery drives the whole frontend: parse, build a catalog
+// from the program's own EDB (so atoms resolve and arities match where
+// possible), and compile. Compile must return an error or a Compiled —
+// never panic — even though the inputs reach hypergraph construction
+// and the recursion pattern matcher.
+func FuzzCompileQuery(f *testing.F) {
+	for _, seed := range []string{
+		"triangle(x, y, z) :- R(x, y), S(y, z), T(z, x).",
+		"q(x, y, z) :- E(x, y), E(y, z).",
+		"tc(x,y) :- E(x,y).\ntc(x,z) :- tc(x,y), E(y,z).",
+		"reach(x) :- V(x).\nreach(y) :- reach(x), E(x,y).",
+		"spend(c, sum(p)) :- O(c, i, p).",
+		"q(x, x) :- R(x, x)",
+		"q(x) :- q(x)",
+		"a(x) :- b(x).\nb(x) :- a(x).",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		cat := NewCatalog()
+		for name, arity := range prog.EDB() {
+			cat.Add(name, arity)
+		}
+		c, err := Compile(prog, cat)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "query: ") {
+				t.Fatalf("compile error missing position prefix: %q", err)
+			}
+			return
+		}
+		// Whatever compiled must have a coherent shape key and a head.
+		if c.ShapeKey() == "" || len(c.Head) == 0 {
+			t.Fatalf("compiled %q has empty shape key or head", src)
+		}
+	})
+}

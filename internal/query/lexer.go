@@ -1,0 +1,164 @@
+package query
+
+import "fmt"
+
+// Pos is a 1-based line:column source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a positioned frontend error. Every parse, analysis, and
+// compilation failure is one of these, so callers (and the error-path
+// tests pinning exact messages) get a stable "query: line:col: msg"
+// rendering.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("query: %s: %s", e.Pos, e.Msg) }
+
+func errAt(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokImplies // ":-"
+	tokDot
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokImplies:
+		return "':-'"
+	case tokDot:
+		return "'.'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+// lexer is a hand-written scanner over the rule source. It recognizes
+// identifiers, integer literals (lexed so the parser can reject them
+// with a precise message — the variable-only language has no
+// constants), punctuation, the ':-' implication, and '%' line comments.
+type lexer struct {
+	src       string
+	off       int
+	line, col int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		switch c := l.src[l.off]; {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '%':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans one token. Unexpected bytes produce a positioned error.
+func (l *lexer) next() (token, *Error) {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	c := l.src[l.off]
+	switch {
+	case c == '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", pos: pos}, nil
+	case c == ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", pos: pos}, nil
+	case c == ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", pos: pos}, nil
+	case c == '.':
+		l.advance()
+		return token{kind: tokDot, text: ".", pos: pos}, nil
+	case c == ':':
+		l.advance()
+		if l.off < len(l.src) && l.src[l.off] == '-' {
+			l.advance()
+			return token{kind: tokImplies, text: ":-", pos: pos}, nil
+		}
+		return token{}, errAt(pos, "expected ':-', got ':'")
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.src[l.off]) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.off], pos: pos}, nil
+	case isDigit(c) || c == '-' && l.off+1 < len(l.src) && isDigit(l.src[l.off+1]):
+		start := l.off
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.src[l.off]) {
+			l.advance()
+		}
+		return token{kind: tokNumber, text: l.src[start:l.off], pos: pos}, nil
+	}
+	return token{}, errAt(pos, "unexpected character %q", string(rune(c)))
+}

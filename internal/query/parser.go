@@ -1,0 +1,199 @@
+package query
+
+// Parse turns Datalog-style rule source into a Program:
+//
+//	triangle(x, y, z) :- R(x, y), S(y, z), T(z, x).
+//	sales(cust, sum(price)) :- O(cust, item, price).
+//	tc(x, y) :- E(x, y).
+//	tc(x, z) :- tc(x, y), E(y, z).
+//
+// Heads may aggregate with sum/count/min/max; bodies are conjunctions
+// of atoms over variables (no constants). Every rule ends with '.'
+// (omittable on the last rule). '%' starts a line comment.
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.kind != tokEOF {
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+		if len(prog.Rules) > maxRules {
+			return nil, errAt(p.tok.pos, "too many rules (limit %d)", maxRules)
+		}
+	}
+	if len(prog.Rules) == 0 {
+		return nil, errAt(Pos{1, 1}, "empty program: expected at least one rule")
+	}
+	return prog, nil
+}
+
+// maxRules bounds the program size before any per-rule analysis runs,
+// so untrusted input cannot make the frontend allocate unboundedly.
+const maxRules = 64
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() *Error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokKind) (token, *Error) {
+	if p.tok.kind != kind {
+		return token{}, errAt(p.tok.pos, "expected %s, got %s", kind, p.describe())
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// describe renders the current token for error messages.
+func (p *parser) describe() string {
+	switch p.tok.kind {
+	case tokEOF:
+		return "end of input"
+	case tokIdent, tokNumber:
+		return "\"" + p.tok.text + "\""
+	default:
+		return "'" + p.tok.text + "'"
+	}
+}
+
+func (p *parser) parseRule() (*Rule, error) {
+	head, err := p.parseHead()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokImplies); err != nil {
+		return nil, err
+	}
+	var body []Atom
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, *a)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	switch p.tok.kind {
+	case tokDot:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	case tokEOF:
+		// The final '.' may be omitted on the last rule.
+	default:
+		return nil, errAt(p.tok.pos, "expected ',' or '.' after atom, got %s", p.describe())
+	}
+	return &Rule{Head: *head, Body: body}, nil
+}
+
+func (p *parser) parseHead() (*Head, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	h := &Head{Name: name.text, Pos: name.pos}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.parseHeadTerm()
+		if err != nil {
+			return nil, err
+		}
+		h.Terms = append(h.Terms, *t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func (p *parser) parseHeadTerm() (*HeadTerm, error) {
+	if p.tok.kind == tokNumber {
+		return nil, errAt(p.tok.pos, "constants are not supported: terms must be variables")
+	}
+	id, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	agg, isAgg := aggByName[id.text]
+	if isAgg && p.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &HeadTerm{Var: v.text, Agg: agg, Pos: id.pos}, nil
+	}
+	return &HeadTerm{Var: id.text, Agg: AggNone, Pos: id.pos}, nil
+}
+
+func (p *parser) parseAtom() (*Atom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	a := &Atom{Name: name.text, Pos: name.pos}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	for {
+		if p.tok.kind == tokNumber {
+			return nil, errAt(p.tok.pos, "constants are not supported: terms must be variables")
+		}
+		v, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokLParen {
+			return nil, errAt(p.tok.pos, "aggregation is only allowed in the rule head")
+		}
+		a.Vars = append(a.Vars, Var{Name: v.text, Pos: v.pos})
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

@@ -1,0 +1,133 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestParseSingleRule(t *testing.T) {
+	p := mustParse(t, "triangle(x,y,z) :- R(x,y), S(y,z), T(z,x).")
+	if len(p.Rules) != 1 {
+		t.Fatalf("%d rules", len(p.Rules))
+	}
+	r := p.Rules[0]
+	if r.Head.Name != "triangle" || len(r.Head.Terms) != 3 {
+		t.Fatalf("head %v", r.Head)
+	}
+	if len(r.Body) != 3 || r.Body[2].Name != "T" || r.Body[2].Vars[0].Name != "z" {
+		t.Fatalf("body %v", r.Body)
+	}
+}
+
+func TestParseTrailingDotOptional(t *testing.T) {
+	a := mustParse(t, "q(x,y) :- R(x,y).")
+	b := mustParse(t, "q(x,y) :- R(x,y)")
+	if a.String() != b.String() {
+		t.Fatalf("%q vs %q", a.String(), b.String())
+	}
+}
+
+func TestParseAggregationHead(t *testing.T) {
+	p := mustParse(t, "sales(cust, month, sum(price)) :- O(cust, month, price).")
+	terms := p.Rules[0].Head.Terms
+	if terms[0].Agg != AggNone || terms[2].Agg != AggSum || terms[2].Var != "price" {
+		t.Fatalf("terms %v", terms)
+	}
+	for name, agg := range map[string]Agg{"sum": AggSum, "count": AggCount, "min": AggMin, "max": AggMax} {
+		p := mustParse(t, "q(x, "+name+"(v)) :- R(x,v).")
+		if got := p.Rules[0].Head.Terms[1].Agg; got != agg {
+			t.Errorf("%s: agg %v", name, got)
+		}
+	}
+}
+
+// Aggregation names are keywords only in call position: a variable (or
+// relation) named "sum" stays an ordinary identifier.
+func TestAggNamesAreNotReserved(t *testing.T) {
+	p := mustParse(t, "q(sum, x) :- R(sum, x), sum(x, sum).")
+	if p.Rules[0].Head.Terms[0].Agg != AggNone {
+		t.Fatal("head var 'sum' misparsed as aggregation")
+	}
+	if p.Rules[0].Body[1].Name != "sum" {
+		t.Fatalf("body %v", p.Rules[0].Body)
+	}
+}
+
+func TestParseMultiRule(t *testing.T) {
+	p := mustParse(t, `
+		% transitive closure
+		tc(x, y) :- E(x, y).
+		tc(x, z) :- tc(x, y), E(y, z).
+	`)
+	if len(p.Rules) != 2 {
+		t.Fatalf("%d rules", len(p.Rules))
+	}
+	if p.Rules[1].Body[0].Name != "tc" {
+		t.Fatalf("body %v", p.Rules[1].Body)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	p := mustParse(t, "q(x) :- R(x). % trailing comment\n% full-line comment")
+	if len(p.Rules) != 1 {
+		t.Fatalf("%d rules", len(p.Rules))
+	}
+}
+
+// The canonical rendering reparses to itself — the property the fuzzer
+// extends to arbitrary accepted inputs.
+func TestStringRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"triangle(x,y,z) :- R(x,y), S(y,z), T(z,x).",
+		"q( x , y )   :-   R( x , y )",
+		"sales(c, sum(p)) :- O(c, i, p).",
+		"tc(x,y) :- E(x,y).\ntc(x,z) :- tc(x,y), E(y,z).",
+		"q(count, min) :- R(count, min).",
+	} {
+		p1 := mustParse(t, src)
+		s1 := p1.String()
+		p2 := mustParse(t, s1)
+		if s2 := p2.String(); s2 != s1 {
+			t.Errorf("round trip: %q → %q", s1, s2)
+		}
+	}
+}
+
+func TestParseErrorsArePositioned(t *testing.T) {
+	_, err := Parse("q(x) :-\n  R(x,\n  1)")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	qe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if qe.Pos.Line != 3 {
+		t.Fatalf("pos %v, want line 3", qe.Pos)
+	}
+	if !strings.Contains(err.Error(), "constants are not supported") {
+		t.Fatalf("message %q", err)
+	}
+}
+
+func TestEDB(t *testing.T) {
+	p := mustParse(t, "tc(x,y) :- E(x,y).\ntc(x,z) :- tc(x,y), E(y,z).")
+	edb := p.EDB()
+	if len(edb) != 1 || edb["E"] != 2 {
+		t.Fatalf("EDB %v", edb)
+	}
+	p = mustParse(t, "q(x,y,z) :- R(x,y), S(y,z).")
+	edb = p.EDB()
+	if len(edb) != 2 || edb["R"] != 2 || edb["S"] != 2 {
+		t.Fatalf("EDB %v", edb)
+	}
+}

@@ -1,0 +1,135 @@
+package query
+
+import (
+	"fmt"
+
+	"mpcquery/internal/core"
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
+)
+
+// RunResult is the unified outcome of executing a compiled query of
+// any kind: the output relation (columns in head order), the strategy
+// used, and the metered MPC cost.
+type RunResult struct {
+	Output *relation.Relation
+	// Algorithm is the strategy core chose or was forced to use; for
+	// recursive queries it is the fixpoint workload name.
+	Algorithm core.Algorithm
+	// Reason explains the planner's choice (empty for recursion).
+	Reason string
+	// Iterations is the semi-naive iteration count (recursive only).
+	Iterations int
+	Rounds     int
+	MaxLoad    int64
+	TotalComm  int64
+	Metrics    *mpc.Metrics
+}
+
+// BindRelations resolves each query atom to its backing relation from
+// rels (keyed by catalog name), validating existence and arity — the
+// execution-time counterpart of the compile-time catalog checks, since
+// a service's data set can change between compile and run.
+func (c *Compiled) BindRelations(rels map[string]*relation.Relation) (map[string]*relation.Relation, error) {
+	bound := map[string]*relation.Relation{}
+	for _, a := range c.Query.Atoms {
+		src := c.RelFor[a.Name]
+		r := rels[src]
+		if r == nil {
+			return nil, fmt.Errorf("query: relation %q is no longer registered", src)
+		}
+		if r.Arity() != len(a.Vars) {
+			return nil, fmt.Errorf("query: relation %q now has arity %d, atom %s uses %d variables", src, r.Arity(), a.Name, len(a.Vars))
+		}
+		bound[a.Name] = r
+	}
+	return bound, nil
+}
+
+// Run executes the compiled query on the engine against rels (keyed by
+// catalog relation name). alg forces a strategy for join/aggregate
+// queries; core.AlgAuto (or empty) lets the planner decide. The output
+// columns follow the rule head: for joins a projection to head order,
+// for aggregation the group-by columns plus the aggregate, for
+// recursion the fixpoint output renamed to the head variables.
+func (c *Compiled) Run(e *core.Engine, rels map[string]*relation.Relation, alg core.Algorithm) (*RunResult, error) {
+	switch c.Kind {
+	case KindJoin, KindAggregate:
+		bound, err := c.BindRelations(rels)
+		if err != nil {
+			return nil, err
+		}
+		req := core.Request{Query: c.Query, Relations: bound, Algorithm: alg}
+		var exec *core.Execution
+		if c.Kind == KindAggregate {
+			exec, err = e.ExecuteAggregate(req, *c.Aggregate)
+		} else {
+			exec, err = e.Execute(req)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out := exec.Output
+		if c.Kind == KindJoin {
+			out = out.Project(c.Query.Name, c.Head...)
+		}
+		return &RunResult{
+			Output:    out,
+			Algorithm: exec.Algorithm,
+			Reason:    exec.Reason,
+			Rounds:    exec.Rounds,
+			MaxLoad:   exec.MaxLoad,
+			TotalComm: exec.TotalComm,
+			Metrics:   exec.Metrics,
+		}, nil
+	case KindRecursive:
+		return c.runRecursive(e, rels)
+	}
+	return nil, fmt.Errorf("query: cannot run compiled kind %v", c.Kind)
+}
+
+func (c *Compiled) runRecursive(e *core.Engine, rels map[string]*relation.Relation) (*RunResult, error) {
+	edges := rels[c.Recursive.EdgeRel]
+	if edges == nil {
+		return nil, fmt.Errorf("query: relation %q is no longer registered", c.Recursive.EdgeRel)
+	}
+	if edges.Arity() != 2 {
+		return nil, fmt.Errorf("query: edge relation %q must be binary, has arity %d", c.Recursive.EdgeRel, edges.Arity())
+	}
+	req := core.RecursiveRequest{Kind: c.Recursive.Kind, Edges: edges}
+	if c.Recursive.Kind == core.RecReachable {
+		src := rels[c.Recursive.SourceRel]
+		if src == nil {
+			return nil, fmt.Errorf("query: relation %q is no longer registered", c.Recursive.SourceRel)
+		}
+		if src.Arity() != 1 {
+			return nil, fmt.Errorf("query: source relation %q must be unary, has arity %d", c.Recursive.SourceRel, src.Arity())
+		}
+		if src.Len() == 0 {
+			return nil, fmt.Errorf("query: source relation %q is empty: reachability needs at least one source vertex", c.Recursive.SourceRel)
+		}
+		for i := 0; i < src.Len(); i++ {
+			req.Sources = append(req.Sources, src.Row(i)[0])
+		}
+	}
+	exec, err := e.ExecuteRecursive(req)
+	if err != nil {
+		return nil, err
+	}
+	// Rename the fixpoint output columns to the rule's head variables.
+	name := c.Program.Rules[0].Head.Name
+	out := relation.New(name, c.Head...)
+	out.Grow(exec.Output.Len() * len(c.Head))
+	for i := 0; i < exec.Output.Len(); i++ {
+		out.AppendRow(exec.Output.Row(i))
+	}
+	return &RunResult{
+		Output:     out,
+		Algorithm:  core.Algorithm("fixpoint-" + string(c.Recursive.Kind)),
+		Iterations: exec.Iterations,
+		Rounds:     exec.Rounds,
+		MaxLoad:    exec.MaxLoad,
+		TotalComm:  exec.TotalComm,
+		Metrics:    exec.Metrics,
+	}, nil
+}

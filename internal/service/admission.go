@@ -1,0 +1,104 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOverloaded is returned when a request cannot be admitted: every
+// execution slot is busy and either the wait queue is full or the
+// request's queue deadline expired before a slot freed. HTTP maps it
+// to 503.
+var ErrOverloaded = errors.New("service: overloaded, request shed")
+
+// admission bounds concurrent query execution. MaxInflight slots run at
+// once; up to maxQueue further requests wait, each for at most the
+// queue timeout, and everything beyond that is shed immediately. The
+// controller also meters its own behavior: the in-flight high-water
+// mark proves the bound held, the shed counter feeds /metrics.
+type admission struct {
+	slots chan struct{}
+
+	mu        sync.Mutex
+	waiting   int
+	maxQueue  int
+	timeout   time.Duration
+	inflight  int
+	highWater int
+	shed      uint64
+}
+
+func newAdmission(maxInflight, maxQueue int, timeout time.Duration) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxInflight),
+		maxQueue: maxQueue,
+		timeout:  timeout,
+	}
+}
+
+// acquire claims an execution slot, waiting up to the queue timeout.
+func (a *admission) acquire() error {
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted()
+		return nil
+	default:
+	}
+	a.mu.Lock()
+	if a.waiting >= a.maxQueue {
+		a.shed++
+		a.mu.Unlock()
+		return ErrOverloaded
+	}
+	a.waiting++
+	a.mu.Unlock()
+
+	timer := time.NewTimer(a.timeout)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.mu.Lock()
+		a.waiting--
+		a.mu.Unlock()
+		a.admitted()
+		return nil
+	case <-timer.C:
+		a.mu.Lock()
+		a.waiting--
+		a.shed++
+		a.mu.Unlock()
+		return ErrOverloaded
+	}
+}
+
+func (a *admission) admitted() {
+	a.mu.Lock()
+	a.inflight++
+	if a.inflight > a.highWater {
+		a.highWater = a.inflight
+	}
+	a.mu.Unlock()
+}
+
+func (a *admission) release() {
+	a.mu.Lock()
+	a.inflight--
+	a.mu.Unlock()
+	<-a.slots
+}
+
+// HighWater reports the maximum number of queries that were ever
+// executing at once — never above MaxInflight if the controller works.
+func (a *admission) HighWater() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.highWater
+}
+
+// Shed reports how many requests were rejected with ErrOverloaded.
+func (a *admission) Shed() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.shed
+}

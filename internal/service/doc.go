@@ -1,0 +1,7 @@
+// Package service is the multi-tenant query service behind cmd/mpcserve:
+// it registers relations, compiles Datalog text through internal/query,
+// and executes on the core engine with admission control (bounded
+// in-flight plus a deadline-shed queue), per-tenant token-bucket
+// quotas, and an LRU plan cache keyed on normalized query shape,
+// cluster size, and a statistics fingerprint.
+package service

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"mpcquery/internal/query"
+)
+
+// Handler exposes the service over HTTP:
+//
+//	POST /query    {"tenant","query","trace"} → Response JSON
+//	GET  /healthz  liveness probe
+//	GET  /metrics  Metrics JSON
+//
+// Status codes classify failures: 400 for parse/compile errors (body
+// carries the positioned message), 429 over quota, 503 shed by
+// admission control, 500 execution failure.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Snapshot())
+	})
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	if req.Query == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing query"})
+		return
+	}
+	resp, err := s.Do(req)
+	if err != nil {
+		writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func statusFor(err error) int {
+	var qe *query.Error
+	var quota *QuotaError
+	switch {
+	case errors.As(err, &qe):
+		return http.StatusBadRequest
+	case errors.As(err, &quota):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

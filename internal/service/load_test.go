@@ -1,0 +1,187 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLoadMultiTenant drives the in-process service with a concurrent
+// Zipf-distributed tenant mix and asserts the three multi-tenant
+// promises at once:
+//
+//  1. admission control held: the in-flight high-water mark never
+//     exceeded MaxInflight;
+//  2. quotas isolate tenants: the head-of-Zipf tenant exhausts its
+//     bucket and collects 429-class errors while every other tenant's
+//     requests all succeed;
+//  3. the plan cache works under concurrency: the workload repeats a
+//     handful of shapes, so the hit rate clears a floor.
+//
+// The quota clock is frozen, so token refill never blurs the
+// pass/reject split. Run under -race in CI.
+func TestLoadMultiTenant(t *testing.T) {
+	const (
+		tenants  = 6
+		requests = 200
+		workers  = 8
+	)
+	// Deterministic Zipf tenant sequence, heaviest tenant first.
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.5, 1, tenants-1)
+	seq := make([]int, requests)
+	counts := make([]int, tenants)
+	for i := range seq {
+		seq[i] = int(zipf.Uint64())
+		counts[seq[i]]++
+	}
+	// Burst sits between the hog's demand and everyone else's, so the
+	// hog must get throttled and nobody else can be.
+	maxOther := 0
+	for i := 1; i < tenants; i++ {
+		if counts[i] > maxOther {
+			maxOther = counts[i]
+		}
+	}
+	if counts[0] <= maxOther {
+		t.Fatalf("zipf mix not skewed enough: hog %d vs max other %d", counts[0], maxOther)
+	}
+	burst := float64(maxOther + (counts[0]-maxOther)/2)
+
+	t0 := time.Unix(0, 0)
+	s := testService(Config{
+		P:            4,
+		MaxInflight:  3,
+		MaxQueue:     workers,
+		QueueTimeout: 5 * time.Second,
+		QuotaRate:    0.000001, // effectively no refill under the frozen clock
+		QuotaBurst:   burst,
+		Clock:        func() time.Time { return t0 },
+	})
+
+	shapes := []string{
+		"q(x, y, z) :- R(x, y), S(y, z).",
+		"tri(x, y, z) :- R(x, y), S(y, z), T(z, x).",
+		"agg(x, sum(z)) :- R(x, y), S(y, z).",
+	}
+
+	var (
+		mu       sync.Mutex
+		ok       = make([]int, tenants)
+		throttle = make([]int, tenants)
+	)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				tenant := seq[i]
+				_, err := s.Do(Request{
+					Tenant: fmt.Sprintf("tenant-%d", tenant),
+					Query:  shapes[i%len(shapes)],
+				})
+				mu.Lock()
+				switch {
+				case err == nil:
+					ok[tenant]++
+				case func() bool { var qe *QuotaError; return errors.As(err, &qe) }():
+					throttle[tenant]++
+				default:
+					mu.Unlock()
+					t.Errorf("request %d (tenant %d): %v", i, tenant, err)
+					return
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	m := s.Snapshot()
+	if hw := m.InflightHighWater; hw > 3 {
+		t.Errorf("admission bound violated: high water %d > MaxInflight 3", hw)
+	}
+	if throttle[0] == 0 {
+		t.Errorf("hog tenant (%d requests, burst %.0f) never throttled", counts[0], burst)
+	}
+	if got := ok[0] + throttle[0]; got != counts[0] {
+		t.Errorf("hog accounting: %d+%d != %d", ok[0], throttle[0], counts[0])
+	}
+	for i := 1; i < tenants; i++ {
+		if throttle[i] != 0 {
+			t.Errorf("tenant %d throttled %d times despite staying under burst", i, throttle[i])
+		}
+		if ok[i] != counts[i] {
+			t.Errorf("tenant %d: %d of %d requests succeeded", i, ok[i], counts[i])
+		}
+	}
+	// Three shapes over one static data set → three misses, everything
+	// else hits (concurrent first-touch can add a handful of extra
+	// misses, hence a floor rather than an exact count).
+	pc := m.PlanCache
+	total := pc.Hits + pc.Misses
+	if total == 0 {
+		t.Fatal("plan cache never consulted")
+	}
+	if rate := float64(pc.Hits) / float64(total); rate < 0.8 {
+		t.Errorf("plan cache hit rate %.2f < 0.80 (%+v)", rate, pc)
+	}
+	if m.Shed != 0 {
+		t.Errorf("requests shed despite generous queue: %d", m.Shed)
+	}
+}
+
+// BenchmarkServiceSustained measures end-to-end service throughput on a
+// repeated shape mix (plan cache hot) and reports sustained QPS and
+// p99 latency alongside ns/op — the numbers EXPERIMENTS.md E27 records.
+func BenchmarkServiceSustained(b *testing.B) {
+	s := testService(Config{P: 4, MaxInflight: 8, MaxQueue: 64, QueueTimeout: time.Second})
+	shapes := []string{
+		"q(x, y, z) :- R(x, y), S(y, z).",
+		"agg(x, sum(z)) :- R(x, y), S(y, z).",
+	}
+	// Warm the plan cache so the benchmark measures the steady state.
+	for _, q := range shapes {
+		if _, err := s.Do(Request{Tenant: "warm", Query: q}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	lat := make([]time.Duration, 0, b.N)
+	start := time.Now()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			t0 := time.Now()
+			if _, err := s.Do(Request{Tenant: "bench", Query: shapes[i%len(shapes)]}); err != nil {
+				b.Error(err)
+				return
+			}
+			d := time.Since(t0)
+			mu.Lock()
+			lat = append(lat, d)
+			mu.Unlock()
+			i++
+		}
+	})
+	b.StopTimer()
+	elapsed := time.Since(start)
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[len(lat)*99/100]
+	b.ReportMetric(float64(len(lat))/elapsed.Seconds(), "qps")
+	b.ReportMetric(float64(p99.Microseconds()), "p99-µs")
+}

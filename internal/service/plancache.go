@@ -1,0 +1,102 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"mpcquery/internal/core"
+)
+
+// planCache memoizes planner decisions keyed on the query's normalized
+// shape, the cluster size, and a fingerprint of the statistics the
+// planner saw (per-relation version and cardinality). Equal keys mean
+// the planner would decide identically, so a hit skips planning and
+// forces the cached algorithm. Register invalidates every entry that
+// read the re-registered relation.
+type planCache struct {
+	mu            sync.Mutex
+	cap           int
+	ll            *list.List // front = most recent
+	items         map[string]*list.Element
+	hits          uint64
+	misses        uint64
+	invalidations uint64
+}
+
+type planEntry struct {
+	key    string
+	alg    core.Algorithm
+	reason string
+	// rels are the catalog relations the plan's statistics covered —
+	// the invalidation index.
+	rels []string
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: map[string]*list.Element{},
+	}
+}
+
+func (c *planCache) get(key string) (planEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(planEntry), true
+	}
+	c.misses++
+	return planEntry{}, false
+}
+
+func (c *planCache) put(e planEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[e.key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[e.key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(planEntry).key)
+	}
+}
+
+// invalidate drops every entry whose plan depended on relation name.
+func (c *planCache) invalidate(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(planEntry)
+		for _, r := range e.rels {
+			if r == name {
+				c.ll.Remove(el)
+				delete(c.items, e.key)
+				c.invalidations++
+				break
+			}
+		}
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the plan cache counters.
+type CacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
+	Entries       int    `json:"entries"`
+}
+
+func (c *planCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Invalidations: c.invalidations, Entries: c.ll.Len()}
+}

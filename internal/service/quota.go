@@ -1,0 +1,89 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// QuotaError reports a tenant that has exhausted its token bucket.
+// HTTP maps it to 429.
+type QuotaError struct {
+	Tenant string
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("service: tenant %q over quota", e.Tenant)
+}
+
+// quotas is a per-tenant token bucket: each tenant accrues rate tokens
+// per second up to burst, and every query spends one token. The clock
+// is injectable so tests can drive refill deterministically.
+type quotas struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	now     func() time.Time
+	buckets map[string]*bucket
+	rejects map[string]uint64
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(rate, burst float64, now func() time.Time) *quotas {
+	if now == nil {
+		now = time.Now
+	}
+	return &quotas{
+		rate:    rate,
+		burst:   burst,
+		now:     now,
+		buckets: map[string]*bucket{},
+		rejects: map[string]uint64{},
+	}
+}
+
+// allow spends one token from tenant's bucket, refilling it first.
+// A nil receiver (quotas disabled) always allows.
+func (q *quotas) allow(tenant string) error {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.now()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: t}
+		q.buckets[tenant] = b
+	} else {
+		b.tokens += t.Sub(b.last).Seconds() * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = t
+	}
+	if b.tokens < 1 {
+		q.rejects[tenant]++
+		return &QuotaError{Tenant: tenant}
+	}
+	b.tokens--
+	return nil
+}
+
+// Rejects snapshots the per-tenant 429 counts.
+func (q *quotas) Rejects() map[string]uint64 {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]uint64, len(q.rejects))
+	for k, v := range q.rejects {
+		out[k] = v
+	}
+	return out
+}
