@@ -115,6 +115,7 @@ func BenchmarkE24PlannerAcc(b *testing.B)        { runExperiment(b, "E24") }
 func BenchmarkE25RecursiveRounds(b *testing.B)   { runExperiment(b, "E25") }
 func BenchmarkE26IVMDeltaScaling(b *testing.B)   { runExperiment(b, "E26") }
 func BenchmarkE27ServiceThroughput(b *testing.B) { runExperiment(b, "E27") }
+func BenchmarkE28Adaptive(b *testing.B)          { runExperiment(b, "E28") }
 func BenchmarkA07BigJoinOrder(b *testing.B)      { runExperiment(b, "A07") }
 
 // BenchmarkMPCShuffle times the simulator's round engine through the

@@ -9,6 +9,8 @@
 //	mpcrun -q 'R(x,y), S(y,z), T(z,x)' -n 5000 -p 27
 //	mpcrun -q 'E(a,b), F(b,c)' -data ./csvdir -p 8
 //	mpcrun -query triangle -n 5000 -p 27 -explain
+//	mpcrun -query triangle -n 20000 -p 16 -skew heavy -adaptive
+//	mpcrun -query triangle -n 20000 -p 8 -capacities 4,4,1,1,1,1,1,1
 //	mpcrun -recursive tc -n 2000 -p 16 -skew zipf
 //
 // Queries: triangle, join2, rst, path<k>, star<k>, cycle<k>, or an
@@ -33,6 +35,19 @@
 // replay. A recovered run reports the exact output and (L, r, C) of the
 // fault-free run plus a recovery summary; an unrecovered one exits
 // non-zero with the spec that reproduces it.
+//
+// With -adaptive, HyperCube executions run the skew-reactive driver:
+// a metered probe round routes a prefix of the input under the uniform
+// plan, and the driver switches the remaining rounds to SkewHC if the
+// probe's receive vector shows emerging skew. The report prints the
+// decision and its evidence. A switched run is bit-identical to one
+// that chose the skew path up front.
+//
+// With -capacities c0,c1,... (len p, entries > 0) the cluster is
+// heterogeneous: the planner costs candidates against the effective
+// parallelism Σc/max(c), HyperCube runs capacity-proportional cell
+// ownership, and the report adds the capacity-normalized makespan
+// max_i(received_i / c_i) next to (L, r, C).
 //
 // With -explain the cost-based planner (internal/plan) evaluates every
 // candidate strategy against statistics collected from the actual
@@ -86,15 +101,26 @@ func main() {
 	netWorkers := flag.Int("net-workers", 0, "worker processes for -transport=tcp (0 = min(p, 4))")
 	netWorker := flag.Bool("net-worker", false, "run as an mpcnet worker process (internal, used by -transport=tcp)")
 	listen := flag.String("listen", "127.0.0.1:0", "listen address in -net-worker mode")
+	adaptive := flag.Bool("adaptive", false, "skew-reactive execution: probe, then switch HyperCube plans to SkewHC on emerging skew")
+	capacities := flag.String("capacities", "", "comma-separated per-server capacities (len p, entries > 0) for heterogeneity-aware shares")
 	verbose := flag.Bool("verbose", false, "print per-round metrics")
 	flag.Parse()
+
+	caps, err := cost.ParseCapacities(*capacities)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpcrun:", err)
+		os.Exit(1)
+	}
+	if caps != nil && len(caps) != *p {
+		fmt.Fprintf(os.Stderr, "mpcrun: -capacities has %d entries for p=%d\n", len(caps), *p)
+		os.Exit(1)
+	}
 
 	if *netWorker {
 		os.Exit(runNetWorker(*listen))
 	}
 
 	var q hypergraph.Query
-	var err error
 	var rels map[string]*relation.Relation
 	// A '-query'/'-q' value containing ':-' is a Datalog rule set: it
 	// goes through the internal/query frontend — the same parser,
@@ -141,7 +167,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mpcrun: -explain applies to conjunctive queries, not recursive rule sets")
 			os.Exit(1)
 		}
-		opts := plan.Options{MaxRounds: *rounds}
+		opts := plan.Options{MaxRounds: *rounds, Capacities: caps}
 		if compiled != nil {
 			opts.Aggregate = compiled.Aggregate
 		}
@@ -160,6 +186,8 @@ func main() {
 		return
 	}
 	engine := core.NewEngine(*p, *seed)
+	engine.Adaptive = *adaptive
+	engine.Capacities = caps
 	transportDesc := "local (in-process)"
 	switch *transport {
 	case "local":
@@ -242,6 +270,10 @@ func main() {
 	fmt.Printf("output     %d tuples\n", exec.Output.Len())
 	fmt.Printf("cost       L = %d tuples/server/round, r = %d rounds, C = %d tuples total\n",
 		exec.MaxLoad, exec.Rounds, exec.TotalComm)
+	if caps != nil {
+		fmt.Printf("capacity   effective p = %.2f, normalized makespan = %.1f\n",
+			cost.EffectiveParallelism(caps), exec.Metrics.NormalizedMakespan(caps))
+	}
 	if sched != nil {
 		fmt.Printf("chaos      %s\n", sched.Report(exec.Metrics, nil))
 	}

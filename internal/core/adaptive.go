@@ -1,0 +1,70 @@
+package core
+
+import (
+	"mpcquery/internal/hypercube"
+	"mpcquery/internal/stats"
+	"mpcquery/internal/trace"
+)
+
+// AdaptiveExecution is an Execution plus the skew-reactive driver's
+// decision record: whether the run abandoned the uniform plan, the
+// probe signal the decision was made on, and the stated reason.
+type AdaptiveExecution struct {
+	*Execution
+	// Switched reports whether the run re-planned to SkewHC mid-query.
+	Switched bool
+	// Signal is the probe round's receive summary.
+	Signal stats.RecvSignal
+	// SwitchReason is the driver's decision in words.
+	SwitchReason string
+}
+
+// ExecuteAdaptive runs the request under the skew-reactive HyperCube
+// driver regardless of the planner's static choice: a metered probe
+// round routes a prefix of every fragment under the uniform LP-optimal
+// plan, and the driver switches the remaining rounds to SkewHC if the
+// probe's receive vector shows emerging skew. A switched run is
+// bit-identical — fragments, round stats, output — to a run that chose
+// the skew path up front; an unswitched run delivers the uniform
+// answer over probe + remainder rounds.
+//
+// This is the explicit entry point; setting Engine.Adaptive instead
+// reroutes plain Execute the same way whenever the planner (or the
+// request) picks AlgHyperCube.
+func (e *Engine) ExecuteAdaptive(req Request) (*AdaptiveExecution, error) {
+	if err := validate(req); err != nil {
+		return nil, err
+	}
+	if err := e.checkCapacities(); err != nil {
+		return nil, err
+	}
+	q := req.Query
+	c := e.newCluster()
+	trace.Annotatef(c, "plan %s: adaptive hypercube (forced)", q.Name)
+	seed := uint64(e.Seed)*2654435761 + 12345
+	const outName = "out"
+	res, err := hypercube.RunAdaptive(c, q, req.Relations, outName, seed, hypercube.AdaptiveConfig{})
+	if err != nil {
+		return nil, err
+	}
+	alg := AlgHyperCube
+	if res.Switched {
+		alg = AlgSkewHC
+	}
+	out := c.Gather(outName).Project(q.Name, q.Vars()...)
+	m := c.Metrics()
+	return &AdaptiveExecution{
+		Execution: &Execution{
+			Output:    out,
+			Algorithm: alg,
+			Reason:    "adaptive: " + res.Reason,
+			Rounds:    m.Rounds(),
+			MaxLoad:   m.MaxLoad(),
+			TotalComm: m.TotalComm(),
+			Metrics:   m,
+		},
+		Switched:     res.Switched,
+		Signal:       res.Signal,
+		SwitchReason: res.Reason,
+	}, nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/testkit"
+)
+
+// TestExecuteAdaptiveSwitches drives the skew-reactive path through
+// the public engine API: a mispredicted-skew triangle must switch,
+// report the decision, and still produce the reference answer.
+func TestExecuteAdaptiveSwitches(t *testing.T) {
+	q := hypergraph.Triangle()
+	rels := testkit.GenMispredicted(q, testkit.GenConfig{Tuples: 480, HeavyFrac: 0.5}, 1)
+	e := NewEngine(16, 1)
+	exec, err := e.ExecuteAdaptive(Request{Query: q, Relations: rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Switched {
+		t.Fatalf("did not switch: %s", exec.SwitchReason)
+	}
+	if exec.Algorithm != AlgSkewHC {
+		t.Errorf("algorithm = %s, want %s", exec.Algorithm, AlgSkewHC)
+	}
+	if exec.Signal.MaxRecv == 0 {
+		t.Error("switched run reports a zero probe signal")
+	}
+	want := Reference(q, rels)
+	if !testkit.BagEqual(exec.Output, want) {
+		t.Errorf("adaptive output differs from reference: %s", testkit.DiffSample(exec.Output, want))
+	}
+}
+
+// TestExecuteAdaptiveNoSwitch pins the balanced case end to end.
+func TestExecuteAdaptiveNoSwitch(t *testing.T) {
+	q := hypergraph.Triangle()
+	rels := testkit.GenInstance(q, testkit.SkewNone, testkit.GenConfig{Tuples: 120}, 1)
+	e := NewEngine(4, 1)
+	exec, err := e.ExecuteAdaptive(Request{Query: q, Relations: rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Switched {
+		t.Fatalf("switched on a skew-free instance: %s", exec.SwitchReason)
+	}
+	if exec.Algorithm != AlgHyperCube {
+		t.Errorf("algorithm = %s, want %s", exec.Algorithm, AlgHyperCube)
+	}
+	want := Reference(q, rels)
+	if !testkit.BagEqual(exec.Output, want) {
+		t.Errorf("output differs from reference: %s", testkit.DiffSample(exec.Output, want))
+	}
+}
+
+// TestEngineAdaptiveFlagReroutesHyperCube checks that Engine.Adaptive
+// reroutes the ordinary Execute path when the request forces (or the
+// planner picks) HyperCube.
+func TestEngineAdaptiveFlagReroutesHyperCube(t *testing.T) {
+	q := hypergraph.Triangle()
+	rels := testkit.GenMispredicted(q, testkit.GenConfig{Tuples: 480, HeavyFrac: 0.5}, 2)
+	e := NewEngine(16, 2)
+	e.Adaptive = true
+	exec, err := e.Execute(Request{Query: q, Relations: rels, Algorithm: AlgHyperCube})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(q, rels)
+	if !testkit.BagEqual(exec.Output, want) {
+		t.Errorf("output differs from reference: %s", testkit.DiffSample(exec.Output, want))
+	}
+	// The switch decision must surface in the plan explanation.
+	if got := exec.Reason; !strings.Contains(got, "adaptive:") {
+		t.Errorf("reason %q does not mention the adaptive decision", got)
+	}
+}
+
+// TestEngineCapacitiesRunHet checks that a capacity profile on the
+// engine routes HyperCube plans through the heterogeneity-aware
+// executor and that the answer is unchanged.
+func TestEngineCapacitiesRunHet(t *testing.T) {
+	q := hypergraph.Triangle()
+	rels := testkit.GenInstance(q, testkit.SkewUniform, testkit.GenConfig{Tuples: 400}, 3)
+	e := NewEngine(4, 3)
+	e.Capacities = []float64{4, 2, 1, 1}
+	exec, err := e.Execute(Request{Query: q, Relations: rels, Algorithm: AlgHyperCube})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(q, rels)
+	if !testkit.BagEqual(exec.Output, want) {
+		t.Errorf("het output differs from reference: %s", testkit.DiffSample(exec.Output, want))
+	}
+	if exec.Metrics.NormalizedMakespan(e.Capacities) <= 0 {
+		t.Error("normalized makespan not metered")
+	}
+}
+
+// TestEngineCapacitiesValidation pins the error paths.
+func TestEngineCapacitiesValidation(t *testing.T) {
+	q := hypergraph.Triangle()
+	rels := testkit.GenInstance(q, testkit.SkewNone, testkit.GenConfig{Tuples: 40}, 1)
+	e := NewEngine(4, 1)
+	e.Capacities = []float64{1, 2} // wrong length
+	if _, err := e.Execute(Request{Query: q, Relations: rels}); err == nil {
+		t.Error("short capacity profile accepted")
+	}
+	e.Capacities = []float64{1, 1, 0, 1} // non-positive entry
+	if _, err := e.ExecuteAdaptive(Request{Query: q, Relations: rels}); err == nil {
+		t.Error("non-positive capacity accepted")
+	}
+}

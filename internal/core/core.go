@@ -88,6 +88,19 @@ type Engine struct {
 	// trace events — so this selects *where bytes move*, never *what the
 	// simulation computes*. The engine does not close the transport.
 	Transport mpc.Transport
+	// Adaptive, when true, reroutes HyperCube executions through the
+	// skew-reactive driver (hypercube.RunAdaptive): a metered probe
+	// round feeds a receive-skew signal into a mid-query re-plan that
+	// switches to SkewHC when the uniform plan's skew prediction turns
+	// out wrong. Takes precedence over Capacities for HyperCube plans.
+	Adaptive bool
+	// Capacities, when non-nil, declares a heterogeneous per-server
+	// capacity profile (len must equal P, entries > 0). Clusters carry
+	// the profile, Metrics.NormalizedMakespan can normalize by it, and
+	// HyperCube executions run the capacity-aware plan
+	// (hypercube.RunHet) that apportions grid cells in proportion to
+	// capacity.
+	Capacities []float64
 }
 
 // NewEngine returns an engine for a p-server cluster.
@@ -210,7 +223,27 @@ func (e *Engine) newCluster() *mpc.Cluster {
 	if e.Transport != nil {
 		c.SetTransport(e.Transport)
 	}
+	if e.Capacities != nil {
+		c.SetCapacities(e.Capacities)
+	}
 	return c
+}
+
+// checkCapacities validates the engine's capacity profile before a
+// cluster is built (SetCapacities would panic on the same conditions).
+func (e *Engine) checkCapacities() error {
+	if e.Capacities == nil {
+		return nil
+	}
+	if len(e.Capacities) != e.P {
+		return fmt.Errorf("core: %d capacities for %d servers", len(e.Capacities), e.P)
+	}
+	for i, cp := range e.Capacities {
+		if cp <= 0 {
+			return fmt.Errorf("core: capacity of server %d is %g, want > 0", i, cp)
+		}
+	}
+	return nil
 }
 
 // Execute plans (unless forced) and runs the request, returning the
@@ -221,6 +254,9 @@ func (e *Engine) Execute(req Request) (*Execution, error) {
 		return nil, err
 	}
 	if err := validate(req); err != nil {
+		return nil, err
+	}
+	if err := e.checkCapacities(); err != nil {
 		return nil, err
 	}
 	q := req.Query
@@ -249,8 +285,22 @@ func (e *Engine) Execute(req Request) (*Execution, error) {
 			join2.SortJoin(c, r, s, outName, seed)
 		}
 	case AlgHyperCube:
-		if _, err := hypercube.Run(c, q, req.Relations, outName, seed, hypercube.LocalGeneric); err != nil {
-			return nil, err
+		switch {
+		case e.Adaptive:
+			res, err := hypercube.RunAdaptive(c, q, req.Relations, outName, seed, hypercube.AdaptiveConfig{})
+			if err != nil {
+				return nil, err
+			}
+			reason += "; adaptive: " + res.Reason
+		case e.Capacities != nil:
+			if _, err := hypercube.RunHet(c, q, req.Relations, outName, seed, hypercube.LocalGeneric); err != nil {
+				return nil, err
+			}
+			reason += fmt.Sprintf("; capacity-aware shares (effective p %.1f)", cost.EffectiveParallelism(e.Capacities))
+		default:
+			if _, err := hypercube.Run(c, q, req.Relations, outName, seed, hypercube.LocalGeneric); err != nil {
+				return nil, err
+			}
 		}
 	case AlgSkewHC:
 		if _, err := hypercube.RunSkewHC(c, q, req.Relations, outName, seed, 0, hypercube.LocalGeneric); err != nil {

@@ -1,11 +1,3 @@
-// Package cost collects the tutorial's analytic cost formulas: the
-// Chernoff tail bounds for hash-partition load with and without skew
-// (slides 24–25), the skew-threshold curve of slide 26, the HyperCube
-// load formulas and the skew exponent ψ* (slides 40 and 47), the
-// communication/round lower bounds for joins, sorting, and matrix
-// multiplication (slides 56, 105, 123–125), and the GYM-vs-HyperCube
-// crossover (slide 78). Benchmarks compare these predictions against
-// loads measured on the simulator.
 package cost
 
 import (

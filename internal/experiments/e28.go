@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mpcquery/internal/hypercube"
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/testkit"
+)
+
+func init() {
+	All = append(All,
+		Experiment{"E28", "Adaptive skew-reactive execution and heterogeneity-aware shares", E28Adaptive},
+	)
+}
+
+// E28Adaptive measures the two mid-2020s extensions of the tutorial's
+// one-shot planning story (methodology in EXPERIMENTS.md §E28).
+//
+// Part A — mispredicted skew. On instances whose planted heavy hitter
+// a static planner with optimistic statistics would miss
+// (testkit.GenMispredicted), three executions of the same query are
+// compared: the static uniform HyperCube plan (what the misprediction
+// costs), the adaptive driver (probe round, then a mid-query switch to
+// SkewHC), and the static SkewHC plan (the oracle that knew the skew
+// up front). The adaptive run must land strictly below static uniform
+// — it pays only the probe fraction of the bad plan — and within the
+// probe's load of the oracle; both are asserted, not just reported.
+//
+// Part B — heterogeneous capacities. On a skew-free instance, the
+// uniform HyperCube plan is compared against capacity-proportional
+// cell ownership (hypercube.RunHet) across increasingly unequal
+// capacity profiles. The metric is the capacity-normalized makespan
+// max_i(received_i / c_i) — per-round wall-clock time when server i
+// processes c_i tuples per tick. The het plan must reduce it on every
+// unequal profile; that too is asserted.
+func E28Adaptive() *Table {
+	t := &Table{
+		ID: "E28", Title: "adaptive execution under mispredicted skew; capacity-aware shares",
+		SlideRef: "beyond the tutorial: skew-reactive re-planning (EXPERIMENTS.md §E28), het shares per arXiv 2501.08896",
+		Header:   []string{"part", "workload", "p", "static L", "adaptive/het", "oracle L", "switched"},
+	}
+
+	// Part A: mispredicted skew, uniform vs adaptive vs SkewHC oracle.
+	const p, seed = 16, 3
+	for _, w := range []struct {
+		name string
+		q    hypergraph.Query
+		gen  testkit.GenConfig
+	}{
+		{"triangle", hypergraph.Triangle(), testkit.GenConfig{Tuples: 480, HeavyFrac: 0.5}},
+		{"star3", hypergraph.Star(3), testkit.GenConfig{Tuples: 240, HeavyFrac: 0.2}},
+	} {
+		rels := testkit.GenMispredicted(w.q, w.gen, seed)
+
+		cu := mpc.NewCluster(p, seed)
+		if _, err := hypercube.Run(cu, w.q, rels, "out", 42, hypercube.LocalGeneric); err != nil {
+			panic(fmt.Sprintf("E28 %s uniform: %v", w.name, err))
+		}
+		uniformL := cu.Metrics().MaxLoad()
+
+		ca := mpc.NewCluster(p, seed)
+		res, err := hypercube.RunAdaptive(ca, w.q, rels, "out", 42, hypercube.AdaptiveConfig{})
+		if err != nil {
+			panic(fmt.Sprintf("E28 %s adaptive: %v", w.name, err))
+		}
+		if !res.Switched {
+			panic(fmt.Sprintf("E28 %s: adaptive run did not switch: %s", w.name, res.Reason))
+		}
+		adaptiveL := ca.Metrics().MaxLoad()
+
+		cs := mpc.NewCluster(p, seed)
+		if _, err := hypercube.RunSkewHC(cs, w.q, rels, "out", 42, 0, hypercube.LocalGeneric); err != nil {
+			panic(fmt.Sprintf("E28 %s skewhc: %v", w.name, err))
+		}
+		oracleL := cs.Metrics().MaxLoad()
+
+		if adaptiveL >= uniformL {
+			panic(fmt.Sprintf("E28 %s: adaptive L=%d not below static uniform L=%d", w.name, adaptiveL, uniformL))
+		}
+		if adaptiveL < oracleL {
+			panic(fmt.Sprintf("E28 %s: adaptive L=%d below the SkewHC oracle L=%d — metering bug", w.name, adaptiveL, oracleL))
+		}
+		t.AddRow("A", w.name+" (mispredicted)", fmtInt(int64(p)),
+			fmtInt(uniformL), fmtInt(adaptiveL), fmtInt(oracleL), "yes")
+	}
+	t.Note("A: adaptive pays only the probe fraction of the mispredicted uniform plan before re-planning;")
+	t.Note("   its L sits between the SkewHC oracle (lower bound) and static uniform (what the misprediction costs).")
+
+	// Part B: capacity-normalized makespan, uniform vs het ownership.
+	q := hypergraph.Triangle()
+	rels := testkit.GenInstance(q, testkit.SkewNone, testkit.GenConfig{Tuples: 1200}, 1)
+	for _, prof := range []struct {
+		name string
+		caps []float64
+	}{
+		{"2 fast of 8 (4:1)", []float64{4, 4, 1, 1, 1, 1, 1, 1}},
+		{"tiers 4:2:1", []float64{4, 4, 2, 2, 1, 1, 1, 1}},
+		{"one fast (8:1)", []float64{8, 1, 1, 1, 1, 1, 1, 1}},
+	} {
+		pb := len(prof.caps)
+		cu := mpc.NewCluster(pb, 1)
+		if _, err := hypercube.Run(cu, q, rels, "out", 9, hypercube.LocalGeneric); err != nil {
+			panic(fmt.Sprintf("E28 uniform/%s: %v", prof.name, err))
+		}
+		uniformMk := cu.Metrics().NormalizedMakespan(prof.caps)
+
+		ch := mpc.NewCluster(pb, 1)
+		ch.SetCapacities(prof.caps)
+		if _, err := hypercube.RunHet(ch, q, rels, "out", 9, hypercube.LocalGeneric); err != nil {
+			panic(fmt.Sprintf("E28 het/%s: %v", prof.name, err))
+		}
+		hetMk := ch.Metrics().NormalizedMakespan(prof.caps)
+
+		if hetMk >= uniformMk {
+			panic(fmt.Sprintf("E28 %s: het makespan %.1f not below uniform %.1f", prof.name, hetMk, uniformMk))
+		}
+		// The fluid lower bound: the het run's total work split
+		// perfectly in proportion to capacity.
+		var sumCap float64
+		for _, cp := range prof.caps {
+			sumCap += cp
+		}
+		ideal := float64(ch.Metrics().TotalComm()) / sumCap
+		t.AddRow("B", prof.name, fmtInt(int64(pb)),
+			fmtF(uniformMk), fmtF(hetMk), fmtF(ideal), "-")
+	}
+	t.Note("B: makespan = max_i(received_i / c_i) on a skew-free triangle; the uniform plan is slowest-machine-bound,")
+	t.Note("   capacity-proportional cell ownership ships load where the capacity is (oracle column: C / Σc, the fluid bound).")
+	return t
+}

@@ -1,13 +1,3 @@
-// Package experiments regenerates every table- and figure-like artifact
-// of the tutorial's slides (the per-experiment index lives in
-// DESIGN.md). Each experiment is a pure function returning a Table of
-// paper-formula vs. simulator-measured values; cmd/mpcbench prints them
-// and bench_test.go wraps them as benchmarks.
-//
-// Scales are chosen so the whole suite runs on a laptop in minutes; the
-// quantities under study (loads, rounds, communication — all relative
-// to IN and p) are scale-free, which is what makes the comparison to
-// the slides meaningful.
 package experiments
 
 import (

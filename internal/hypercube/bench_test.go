@@ -7,6 +7,7 @@ import (
 	"mpcquery/internal/hypergraph"
 	"mpcquery/internal/mpc"
 	"mpcquery/internal/relation"
+	"mpcquery/internal/testkit"
 	"mpcquery/internal/workload"
 )
 
@@ -68,6 +69,40 @@ func BenchmarkHeavyLightTriangle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c := mpc.NewCluster(64, 1)
 		if _, err := HeavyLightTriangle(c, rels, "out", 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaptiveSwitch measures the full skew-reactive path on a
+// mispredicted-skew instance: probe round, decision, discarded probe
+// shuffle, and the SkewHC rounds it switches to.
+func BenchmarkAdaptiveSwitch(b *testing.B) {
+	q := hypergraph.Triangle()
+	rels := testkit.GenMispredicted(q, testkit.GenConfig{Tuples: 4096, HeavyFrac: 0.5}, 7)
+	for i := 0; i < b.N; i++ {
+		c := mpc.NewCluster(16, 7)
+		res, err := RunAdaptive(c, q, rels, "out", 42, AdaptiveConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Switched {
+			b.Fatal("adaptive run did not switch")
+		}
+	}
+}
+
+// BenchmarkHetTriangle measures the capacity-aware shuffle and
+// per-cell local joins on an unequal profile.
+func BenchmarkHetTriangle(b *testing.B) {
+	const nv, ne = 3000, 30000
+	r, s, u := workload.TriangleInput(nv, ne, 7)
+	rels := map[string]*relation.Relation{"R": r, "S": s, "T": u}
+	caps := []float64{4, 4, 2, 2, 1, 1, 1, 1}
+	for i := 0; i < b.N; i++ {
+		c := mpc.NewCluster(8, 1)
+		c.SetCapacities(caps)
+		if _, err := RunHet(c, hypergraph.Triangle(), rels, "out", 42, LocalGeneric); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -57,6 +57,11 @@ type Cluster struct {
 	// deliverWorkers overrides the delivery worker count (test-only;
 	// 0 means min(p, GOMAXPROCS)).
 	deliverWorkers int
+	// caps, when non-nil, is the per-server capacity profile
+	// (capacity.go). It never affects delivery — only planners and
+	// metrics consult it — so attaching capacities cannot change what
+	// a run computes, only how its load is apportioned and judged.
+	caps []float64
 	// faults, when non-nil, routes every round through the recovery
 	// driver (recovery.go); failed poisons the cluster after a round
 	// whose recovery exhausted its replay budget.

@@ -42,6 +42,13 @@ func (pl *Plan) Execute(e *core.Engine, rels map[string]*relation.Relation) (*Re
 		Relations: rels,
 		Algorithm: core.Algorithm(best.Alg),
 	}
+	if len(pl.Opts.Capacities) > 0 {
+		// Run on an engine copy carrying the profile so HyperCube plans
+		// take the capacity-aware path; the caller's engine is untouched.
+		het := *e
+		het.Capacities = pl.Opts.Capacities
+		e = &het
+	}
 	var exec *core.Execution
 	var err error
 	if pl.Opts.Aggregate != nil {

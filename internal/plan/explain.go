@@ -3,6 +3,8 @@ package plan
 import (
 	"fmt"
 	"strings"
+
+	"mpcquery/internal/cost"
 )
 
 // Explain renders the plan as the EXPLAIN listing: the query, the
@@ -21,6 +23,9 @@ func (pl *Plan) Explain() string {
 		fmt.Fprintf(&b, ", group-by %s", strings.Join(pl.Opts.Aggregate.GroupBy, ","))
 	}
 	b.WriteString(")\n")
+	if caps := pl.Opts.Capacities; len(caps) > 0 {
+		fmt.Fprintf(&b, "  capacities %v, effective p %.2f\n", caps, cost.EffectiveParallelism(caps))
+	}
 	fmt.Fprintf(&b, "  %s\n", pl.Stats.Query)
 	for _, line := range strings.Split(strings.TrimRight(pl.Stats.String(), "\n"), "\n") {
 		fmt.Fprintf(&b, "  %s\n", line)

@@ -290,3 +290,46 @@ func TestPredictionRatioReported(t *testing.T) {
 		t.Errorf("Result.String should mention the ratio: %s", res.String())
 	}
 }
+
+// TestCapacityOptions pins the heterogeneous planning path: candidates
+// are costed against the profile's effective parallelism, the EXPLAIN
+// listing names the profile, and Execute routes through the
+// capacity-aware executor with the answer unchanged.
+func TestCapacityOptions(t *testing.T) {
+	q := hypergraph.Triangle()
+	rels := triangleInstance(7)
+	caps := []float64{4, 1, 1, 1, 1, 1, 1, 1} // effective p ≈ 2.75
+	uniform, err := For(q, rels, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	het, err := For(q, rels, 8, Options{Capacities: caps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deflating p to 2 must raise per-server load predictions.
+	ub, hb := uniform.Best(), het.Best()
+	if hb.Est.L <= ub.Est.L {
+		t.Errorf("het plan predicts L %.4g, not above uniform %.4g at full p", hb.Est.L, ub.Est.L)
+	}
+	if !strings.Contains(het.Explain(), "effective p") {
+		t.Errorf("EXPLAIN does not name the capacity profile:\n%s", het.Explain())
+	}
+	if strings.Contains(uniform.Explain(), "capacities") {
+		t.Errorf("uniform EXPLAIN mentions capacities:\n%s", uniform.Explain())
+	}
+
+	eng := core.NewEngine(8, 7)
+	res, err := het.Execute(eng, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Capacities != nil {
+		t.Error("Execute mutated the caller's engine")
+	}
+	want := core.Reference(q, rels)
+	got := res.Exec.Output
+	if got.Len() != want.Len() {
+		t.Errorf("capacity-aware execution: %d rows, reference %d", got.Len(), want.Len())
+	}
+}

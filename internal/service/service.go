@@ -40,6 +40,14 @@ type Config struct {
 	// MaxResultRows caps the rows embedded in a response; the full count
 	// is always reported (default 100).
 	MaxResultRows int
+	// Adaptive routes HyperCube executions through the skew-reactive
+	// driver: a metered probe round switches the run to SkewHC when the
+	// uniform plan's skew prediction turns out wrong mid-query.
+	Adaptive bool
+	// Capacities declares a heterogeneous per-server capacity profile
+	// (len must equal P, entries > 0); HyperCube executions then use
+	// capacity-proportional cell ownership. Nil means uniform.
+	Capacities []float64
 	// Clock overrides the quota clock (tests only; default time.Now).
 	Clock func() time.Time
 }
@@ -98,9 +106,12 @@ type Service struct {
 // New builds a Service from cfg (zero fields take defaults).
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	engine := core.NewEngine(cfg.P, cfg.Seed)
+	engine.Adaptive = cfg.Adaptive
+	engine.Capacities = cfg.Capacities
 	s := &Service{
 		cfg:      cfg,
-		engine:   core.NewEngine(cfg.P, cfg.Seed),
+		engine:   engine,
 		admit:    newAdmission(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueTimeout),
 		cache:    newPlanCache(cfg.PlanCacheSize),
 		rels:     map[string]*relation.Relation{},

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mpcquery/internal/relation"
+)
+
+// TestFromRecvEdgeCases pins the feedback signal on the degenerate
+// receive vectors the adaptive executor can actually see: an empty
+// round, a silent round, one server, perfectly balanced delivery, and
+// extreme one-hot skew.
+func TestFromRecvEdgeCases(t *testing.T) {
+	tests := []struct {
+		name string
+		recv []int64
+		want RecvSignal
+	}{
+		{"empty", nil, RecvSignal{}},
+		{"all-zero", []int64{0, 0, 0, 0}, RecvSignal{}},
+		{"single", []int64{42}, RecvSignal{MaxRecv: 42, Mean: 42, Imbalance: 1, Gini: 0}},
+		{"all-equal", []int64{5, 5, 5, 5}, RecvSignal{MaxRecv: 5, Mean: 5, Imbalance: 1, Gini: 0}},
+		{"one-hot", []int64{0, 0, 0, 400}, RecvSignal{MaxRecv: 400, Mean: 100, Imbalance: 4, Gini: 0.75}},
+	}
+	for _, tc := range tests {
+		got := FromRecv(tc.recv)
+		if got != tc.want {
+			t.Errorf("%s: FromRecv(%v) = %+v, want %+v", tc.name, tc.recv, got, tc.want)
+		}
+	}
+}
+
+// TestFromRecvExtremeSkew checks the asymptotics on a large one-hot
+// vector: imbalance approaches p and Gini approaches 1-1/p.
+func TestFromRecvExtremeSkew(t *testing.T) {
+	const p = 64
+	recv := make([]int64, p)
+	recv[17] = 1 << 20
+	s := FromRecv(recv)
+	if s.MaxRecv != 1<<20 {
+		t.Fatalf("MaxRecv = %d", s.MaxRecv)
+	}
+	if math.Abs(s.Imbalance-p) > 1e-9 {
+		t.Errorf("Imbalance = %v, want %v", s.Imbalance, float64(p))
+	}
+	if math.Abs(s.Gini-(1-1.0/p)) > 1e-9 {
+		t.Errorf("Gini = %v, want %v", s.Gini, 1-1.0/p)
+	}
+}
+
+// TestSkewedThresholds exercises both triggers and the disable
+// semantics of non-positive thresholds.
+func TestSkewedThresholds(t *testing.T) {
+	balanced := FromRecv([]int64{10, 10, 10, 10})
+	skewed := FromRecv([]int64{1, 1, 1, 97})
+	if balanced.Skewed(2.0, 0.4) {
+		t.Errorf("balanced signal %+v flagged skewed", balanced)
+	}
+	if !skewed.Skewed(2.0, 0.4) {
+		t.Errorf("skewed signal %+v not flagged", skewed)
+	}
+	// Each trigger alone suffices.
+	if !skewed.Skewed(2.0, 0) {
+		t.Errorf("imbalance trigger alone should fire on %+v", skewed)
+	}
+	if !skewed.Skewed(0, 0.4) {
+		t.Errorf("gini trigger alone should fire on %+v", skewed)
+	}
+	// Both disabled: never skewed.
+	if skewed.Skewed(0, 0) {
+		t.Errorf("disabled thresholds must never fire")
+	}
+	// Thresholds are strict: a signal exactly at the threshold does
+	// not fire, so imbalance 1.0 survives maxImbalance 1.0.
+	if balanced.Skewed(1.0, 0) {
+		t.Errorf("imbalance exactly at threshold must not fire")
+	}
+	if got := skewed.String(); !strings.Contains(got, "max=97") {
+		t.Errorf("String() = %q, want it to carry max recv", got)
+	}
+}
+
+// TestSampledThreshold pins the probe-side scaling of a full-input
+// heavy-hitter threshold.
+func TestSampledThreshold(t *testing.T) {
+	tests := []struct {
+		threshold int
+		frac      float64
+		want      int
+	}{
+		{0, 0.15, 1},     // degenerate full threshold floors at 1
+		{-3, 0.5, 1},     // negative likewise
+		{100, 0.15, 15},  // plain scaling
+		{100, 0.151, 16}, // ceil, not round
+		{3, 0.15, 1},     // small threshold floors at 1
+		{100, 0, 100},    // non-positive frac: no scaling
+		{100, 1, 100},    // frac >= 1: no scaling
+		{100, 2, 100},
+	}
+	for _, tc := range tests {
+		if got := SampledThreshold(tc.threshold, tc.frac); got != tc.want {
+			t.Errorf("SampledThreshold(%d, %g) = %d, want %d", tc.threshold, tc.frac, got, tc.want)
+		}
+	}
+}
+
+// TestHeavyHitterThresholdBoundary pins the inclusive >= threshold
+// semantics the adaptive probe relies on: a value whose sampled degree
+// lands exactly on SampledThreshold must be detected.
+func TestHeavyHitterThresholdBoundary(t *testing.T) {
+	d := Degrees{1: 2, 2: 3, 3: 4}
+	if got := d.HeavyHitters(3); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("HeavyHitters(3) = %v, want [2 3] (inclusive threshold)", got)
+	}
+	if got := d.HeavyHitters(5); len(got) != 0 {
+		t.Fatalf("HeavyHitters(5) = %v, want empty", got)
+	}
+	// Threshold 1 declares everything heavy — the degenerate-probe
+	// floor of SampledThreshold must therefore stay conservative, not
+	// silent.
+	if got := d.HeavyHitters(SampledThreshold(0, 0.15)); len(got) != 3 {
+		t.Fatalf("HeavyHitters(1) = %v, want all 3 values", got)
+	}
+}
+
+// TestGiniExtremeSkew extends the Gini pin to a large planted-heavy
+// degree vector: one value holding half the mass among many singletons
+// must push Gini well above the 0.4 adaptive trigger.
+func TestGiniExtremeSkew(t *testing.T) {
+	xs := make([]int64, 1000)
+	for i := range xs {
+		xs[i] = 1
+	}
+	xs[0] = 999 // one value with half the total mass
+	if g := Gini(xs); g < 0.45 || g >= 1 {
+		t.Errorf("Gini(planted heavy) = %v, want in [0.45, 1)", g)
+	}
+}
+
+// TestQuantileInt64ExtremeSkew pins nearest-rank quantiles on a
+// one-hot vector: every quantile below the top rank sees the zeros.
+func TestQuantileInt64ExtremeSkew(t *testing.T) {
+	xs := make([]int64, 100)
+	xs[99] = 12345
+	if got := QuantileInt64(xs, 0.98); got != 0 {
+		t.Errorf("q0.98 of one-hot = %d, want 0", got)
+	}
+	if got := QuantileInt64(xs, 1); got != 12345 {
+		t.Errorf("q1 of one-hot = %d, want 12345", got)
+	}
+}
+
+// TestDegreesOfFeedbackPath mirrors how the adaptive probe derives
+// heavy hitters: count degrees over a prefix and threshold them with
+// the sampled threshold.
+func TestDegreesOfFeedbackPath(t *testing.T) {
+	r := relation.New("R", "a", "b")
+	// 40 rows, value 7 appears every 4th row (degree 10), others once.
+	for i := 0; i < 40; i++ {
+		v := relation.Value(100 + i)
+		if i%4 == 0 {
+			v = 7
+		}
+		r.Append(v, relation.Value(i))
+	}
+	d := DegreesOf(r, "a")
+	// Full threshold 8 (say IN/p); the probe saw the full relation
+	// here, so the unscaled threshold finds exactly the planted value.
+	if got := d.HeavyHitters(8); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("HeavyHitters(8) = %v, want [7]", got)
+	}
+}

@@ -1,8 +1,3 @@
-// Package stats computes the data statistics that skew-aware MPC
-// algorithms consume: per-value degrees (frequencies) of join
-// attributes, heavy-hitter detection against the tutorial's thresholds
-// (a value is heavy when its degree exceeds IN/p — slide 29 for two-way
-// joins, N/p for SkewHC on slide 47), and summary skew measures.
 package stats
 
 import (

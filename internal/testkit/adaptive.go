@@ -1,0 +1,240 @@
+package testkit
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mpcquery/internal/hypergraph"
+	"mpcquery/internal/mpc"
+	"mpcquery/internal/relation"
+	"mpcquery/internal/trace"
+)
+
+// AdaptiveAlgo runs a skew-reactive algorithm on the cluster and
+// reports whether it abandoned its initial plan mid-query. The harness
+// takes the algorithm as a closure (rather than importing
+// internal/hypercube) so algorithm packages can wire their own
+// adaptive drivers into it without an import cycle.
+type AdaptiveAlgo func(c *mpc.Cluster, q hypergraph.Query, rels map[string]*relation.Relation, outName string, seed uint64) (switched bool, err error)
+
+// SwitchChaosSpecs is the fault-schedule axis for adaptive runs: the
+// flat schedules land faults on the probe round itself, and the
+// after=N schedules land them on the post-switch rounds, so recovery
+// is exercised both before and during the mid-query re-plan.
+var SwitchChaosSpecs = []string{
+	"101:drop=0.15,dup=0.08",
+	"202:crash=0.2,straggle=0.3,delay=6",
+	"404:crash=0.3,after=1",
+	"505:drop=0.15,dup=0.08,after=2",
+}
+
+// GenMispredicted generates the slide-46 HyperCube skew pathology with
+// an *interleaved* planted heavy hitter: in every atom containing the
+// query's first variable, every ⌈1/HeavyFrac⌉-th row binds that
+// variable to the heavy value 0; light rows get distinct values and
+// uniform fill elsewhere. A heavy value of one variable confines every
+// relation containing it to one slab of the HyperCube grid — the
+// uniform plan's worst case, and exactly the case SkewHC's share-1
+// residual plans fix. Where SkewHeavy front-loads its heavy rows, the
+// interleaving spreads them evenly through the file, so any prefix
+// fraction f of a fragment carries ≈ f of the heavy degree. This is
+// the "emerging heavy hitter" shape: a static planner with optimistic
+// stats picks the uniform plan, while an adaptive probe over a prefix
+// sees the skew developing at exactly the sample-scaled rate.
+func GenMispredicted(q hypergraph.Query, cfg GenConfig, seed int64) map[string]*relation.Relation {
+	cfg = cfg.withDefaults()
+	every := int(1 / cfg.HeavyFrac)
+	if every < 1 {
+		every = 1
+	}
+	hv := q.Vars()[0]
+	rels := make(map[string]*relation.Relation, len(q.Atoms))
+	for ai, a := range q.Atoms {
+		rng := rand.New(rand.NewSource(seed*1_000_003 + int64(ai)*7919))
+		r := relation.New(a.Name, a.Vars...)
+		row := make([]relation.Value, len(a.Vars))
+		for i := 0; i < cfg.Tuples; i++ {
+			for j, v := range a.Vars {
+				switch {
+				case v == hv && i%every == 0:
+					row[j] = 0
+				case j == 0:
+					row[j] = relation.Value(i + 1) // distinct, disjoint from heavy
+				default:
+					row[j] = relation.Value(rng.Intn(cfg.Domain))
+				}
+			}
+			r.AppendRow(row)
+		}
+		rels[a.Name] = r
+	}
+	return rels
+}
+
+// AssertTailRoundStats asserts that the adaptive cluster's metered
+// rounds from index skip onward are identical — name, per-server Recv
+// and RecvWords — to the static cluster's rounds from index 0. This is
+// the switched-run determinism contract: once the adaptive driver
+// discards its probe and re-plans, every remaining round must meter
+// exactly what a run that chose that path up front metered.
+func AssertTailRoundStats(t *testing.T, static, adaptive *mpc.Cluster, skip int) {
+	t.Helper()
+	ss, as := static.Metrics().RoundStats(), adaptive.Metrics().RoundStats()
+	if len(as)-skip != len(ss) {
+		t.Fatalf("adaptive has %d rounds after skipping %d, static has %d", len(as)-skip, skip, len(ss))
+	}
+	for i := range ss {
+		a, s := as[i+skip], ss[i]
+		if a.Name != s.Name {
+			t.Fatalf("round %d: adaptive %q vs static %q", i, a.Name, s.Name)
+		}
+		for d := range s.Recv {
+			if a.Recv[d] != s.Recv[d] || a.RecvWords[d] != s.RecvWords[d] {
+				t.Fatalf("round %q server %d: adaptive (%d,%d), static (%d,%d)",
+					s.Name, d, a.Recv[d], a.RecvWords[d], s.Recv[d], s.RecvWords[d])
+			}
+		}
+	}
+}
+
+// RunAdaptiveDiff pins the adaptive executor's two contracts on the
+// (p, seed) matrix of cfg:
+//
+// On mispredicted-skew instances (GenMispredicted) the run must
+// switch, match the sequential oracle, and — after its single probe
+// round — be *bit-identical* to the static skew-path run on an
+// identically seeded cluster: same fragments on every server, same
+// per-round (Recv, RecvWords) tail. AssertSameFragments compares every
+// relation on every server, so this also proves the probe leaves no
+// residue behind.
+//
+// On skew-free (SkewNone) instances the run must NOT switch, must
+// finish in exactly probe+remainder+local = 2 metered rounds, and must
+// still match the oracle.
+//
+// static must execute the same skew path the adaptive driver switches
+// to (same seed and threshold discipline).
+func RunAdaptiveDiff(t *testing.T, q hypergraph.Query, cfg Config, adaptive AdaptiveAlgo, static Algo) {
+	t.Helper()
+	cfg = cfg.WithDefaults()
+	for _, p := range cfg.Ps {
+		for _, seed := range cfg.Seeds {
+			p, seed := p, seed
+			algSeed := uint64(seed)*0x9e3779b9 + uint64(p)
+			t.Run(fmt.Sprintf("%s/mispredicted/p%d/seed%d", q.Name, p, seed), func(t *testing.T) {
+				rels := GenMispredicted(q, cfg.Gen, seed)
+				want := OracleJoin(q, rels)
+
+				ca := mpc.NewCluster(p, seed)
+				rec := trace.NewRecorder()
+				ca.SetTracer(rec)
+				switched, err := adaptive(ca, q, rels, "out", algSeed)
+				if err != nil {
+					t.Fatalf("adaptive run failed: %v", err)
+				}
+				if !switched {
+					t.Fatalf("adaptive run did not switch on a mispredicted-skew instance")
+				}
+
+				cs := mpc.NewCluster(p, seed)
+				if err := static(cs, q, rels, "out", algSeed); err != nil {
+					t.Fatalf("static run failed: %v", err)
+				}
+
+				got := GatherResult(ca, "out", q.Vars())
+				got.Dedup()
+				if !BagEqual(got, want) {
+					t.Errorf("adaptive result mismatch vs oracle: %s", DiffSample(got, want))
+				}
+				AssertSameFragments(t, cs, ca)
+				AssertTailRoundStats(t, cs, ca, 1)
+				AssertTraceConsistent(t, ca, rec)
+				// The switch decision must be visible in the trace.
+				found := false
+				for _, ev := range rec.Events() {
+					if ev.Kind == trace.KindAdapt {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("switched run recorded no %q trace event", trace.KindAdapt)
+				}
+			})
+			t.Run(fmt.Sprintf("%s/uniform/p%d/seed%d", q.Name, p, seed), func(t *testing.T) {
+				rels := GenInstance(q, SkewNone, cfg.Gen, seed)
+				want := OracleJoin(q, rels)
+				c := mpc.NewCluster(p, seed)
+				rec := trace.NewRecorder()
+				c.SetTracer(rec)
+				switched, err := adaptive(c, q, rels, "out", algSeed)
+				if err != nil {
+					t.Fatalf("adaptive run failed: %v", err)
+				}
+				if switched {
+					t.Fatalf("adaptive run switched on a skew-free instance")
+				}
+				AssertRounds(t, c, 2)
+				got := GatherResult(c, "out", q.Vars())
+				got.Dedup()
+				if !BagEqual(got, want) {
+					t.Errorf("adaptive result mismatch vs oracle: %s", DiffSample(got, want))
+				}
+				AssertTraceConsistent(t, c, rec)
+			})
+		}
+	}
+}
+
+// RunAdaptiveChaos exercises the switch under fault injection: for
+// every schedule in SwitchChaosSpecs (probe-round faults and
+// after-the-switch faults) it runs the adaptive algorithm on a
+// mispredicted-skew instance twice — fault-free and injected — and
+// asserts the injected run recovers, makes the same switch decision,
+// meters identical (L, r, C), holds bit-identical fragments, and still
+// matches the oracle. Recovery committing the same receive vectors is
+// exactly what makes the mid-query decision replay-safe.
+func RunAdaptiveChaos(t *testing.T, q hypergraph.Query, cfg Config, adaptive AdaptiveAlgo) {
+	t.Helper()
+	cfg = cfg.WithDefaults()
+	specs := cfg.ChaosSpecs
+	if len(specs) == 0 {
+		specs = SwitchChaosSpecs
+	}
+	for _, spec := range specs {
+		for _, p := range cfg.Ps {
+			for _, seed := range cfg.Seeds {
+				spec, p, seed := spec, p, seed
+				algSeed := uint64(seed)*0x9e3779b9 + uint64(p)
+				t.Run(fmt.Sprintf("%s/%s/p%d/seed%d", q.Name, spec, p, seed), func(t *testing.T) {
+					rels := GenMispredicted(q, cfg.Gen, seed)
+					want := OracleJoin(q, rels)
+
+					clean := mpc.NewCluster(p, seed)
+					cleanSwitched, err := adaptive(clean, q, rels, "out", algSeed)
+					if err != nil {
+						t.Fatalf("fault-free run failed: %v", err)
+					}
+
+					chaotic := NewChaosCluster(p, seed, spec)
+					chaosSwitched, err := adaptive(chaotic, q, rels, "out", algSeed)
+					if err != nil {
+						t.Fatalf("chaos run failed: %v", err)
+					}
+					AssertRecovered(t, chaotic)
+					if cleanSwitched != chaosSwitched {
+						t.Fatalf("switch decision diverged under chaos: fault-free %v, chaos %v", cleanSwitched, chaosSwitched)
+					}
+					AssertSameLRC(t, clean, chaotic)
+					AssertSameFragments(t, clean, chaotic)
+					got := GatherResult(chaotic, "out", q.Vars())
+					got.Dedup()
+					if !BagEqual(got, want) {
+						t.Errorf("chaos adaptive result mismatch vs oracle: %s", DiffSample(got, want))
+					}
+				})
+			}
+		}
+	}
+}

@@ -49,6 +49,7 @@ const (
 	KindCrash      = "crash"       // Round, Attempt, Server — server down during the attempt
 	KindBackoff    = "backoff"     // Round, Attempt, Units — replay backoff (metered, never slept)
 	KindChaos      = "chaos"       // Round, Attempt=attempts, Dropped/Duplicated/Redelivered/Crashes, Units=backoff
+	KindAdapt      = "adapt"       // Round=probe round, Name=reason, MaxRecv/Gini=triggering signal
 )
 
 // Event is one trace record. Server is -1 for driver-scoped events
@@ -174,6 +175,15 @@ func (r *Recorder) RoundEnd(round int, name string, recv, recvWords []int64) {
 // the *next* round will get — the marker precedes the rounds it labels.
 func (r *Recorder) Annotate(round int, msg string) {
 	r.append(Event{Kind: KindAnnotate, Round: round, Server: Driver, Name: msg})
+}
+
+// Adapt records a mid-query re-plan decision: after observing round's
+// receive vector, the adaptive executor switches the remaining rounds
+// to a different path. Name carries the human-readable reason and
+// MaxRecv/Gini the triggering skew signal, so a trace alone explains
+// why a run adapted.
+func (r *Recorder) Adapt(round int, reason string, maxRecv int64, gini float64) {
+	r.append(Event{Kind: KindAdapt, Round: round, Server: Driver, Name: reason, MaxRecv: maxRecv, Gini: gini})
 }
 
 // Crash records that server was down during delivery attempt `attempt`

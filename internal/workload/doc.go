@@ -1,0 +1,13 @@
+// Package workload generates the synthetic inputs every experiment in
+// this repository runs on: skew-free (matching) relations, uniform and
+// Zipf-distributed relations, relations with planted heavy hitters,
+// random graphs for triangle queries, and path/star instances. All
+// generators are deterministic given a seed; experiments cite their
+// generator and parameters so results are reproducible.
+//
+// The adversarial shapes live next to the benign ones on purpose: the
+// planted-heavy and power-law generators here feed the skew
+// experiments, while internal/testkit's GenMispredicted builds the
+// interleaved emerging-heavy-hitter instances the adaptive executor's
+// differential tests run on.
+package workload
